@@ -1,0 +1,179 @@
+"""Shared scaffolding for the figure-reproduction benchmarks.
+
+Scaling: the paper's clusters move 1-100 TB through 10-100 machines; a
+laptop-scale simulation keeps every *ratio* that drives the results --
+data:aggregate-memory (external-sort pressure), partition:store
+(working-set pressure), and partition *counts* in ranges where block
+sizes cross the disks' seek-dominated regime -- while shrinking absolute
+bytes so runs finish in seconds to minutes.  Each benchmark's docstring
+states its scale factor; EXPERIMENTS.md compares shapes, not absolute
+numbers, per the reproduction brief.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.spark import SparkConfig, SparkSortJob
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    D3_2XLARGE,
+    FailurePlan,
+    I3_2XLARGE,
+    NodeSpec,
+    R6I_2XLARGE,
+)
+from repro.common.units import GB, GIB
+from repro.futures import Runtime, RuntimeConfig
+from repro.metrics import ResultTable
+from repro.simcore import Environment
+from repro.sort import SortJobConfig, run_sort
+
+#: Everything in the 1 TB sort experiments is scaled down by this factor
+#: (data and per-node object store alike), preserving data:memory and
+#: partition:store ratios.
+SORT_SCALE = 10
+
+#: "1 TB" after scaling.
+SCALED_TB = 1000 * GB // SORT_SCALE
+
+
+def scaled_node(base: NodeSpec) -> NodeSpec:
+    """A paper instance type with its object store scaled down."""
+    return base.with_object_store(max(1, base.object_store_bytes // SORT_SCALE))
+
+
+def hdd_node() -> NodeSpec:
+    return scaled_node(D3_2XLARGE)
+
+
+def ssd_node() -> NodeSpec:
+    return scaled_node(I3_2XLARGE)
+
+
+def make_runtime(
+    node: NodeSpec, num_nodes: int, config: Optional[RuntimeConfig] = None
+) -> Runtime:
+    return Runtime.create(node, num_nodes, config=config)
+
+
+def run_es_sort(
+    node: NodeSpec,
+    num_nodes: int,
+    variant: str,
+    num_partitions: int,
+    data_bytes: int,
+    output_to_disk: bool = True,
+    failures: Sequence[FailurePlan] = (),
+    runtime_config: Optional[RuntimeConfig] = None,
+):
+    """One Exoshuffle sort run on a fresh runtime; returns (result, rt)."""
+    rt = make_runtime(node, num_nodes, config=runtime_config)
+    config = SortJobConfig(
+        variant=variant,
+        num_partitions=num_partitions,
+        partition_bytes=data_bytes // num_partitions,
+        virtual=True,
+        output_to_disk=output_to_disk,
+        failures=failures,
+    )
+    result = run_sort(rt, config)
+    assert result.validated
+    return result, rt
+
+
+def run_spark_sort_on(
+    node: NodeSpec,
+    num_nodes: int,
+    num_partitions: int,
+    data_bytes: int,
+    push_based: bool = False,
+    compression: bool = False,
+    output_to_disk: bool = True,
+):
+    env = Environment()
+    cluster = Cluster.homogeneous(env, node, num_nodes)
+    job = SparkSortJob(
+        cluster,
+        config=SparkConfig(push_based=push_based, compression=compression),
+        num_partitions=num_partitions,
+        partition_bytes=data_bytes // num_partitions,
+        output_to_disk=output_to_disk,
+    )
+    return job.run()
+
+
+def sort_figure_table(
+    title: str,
+    node: NodeSpec,
+    num_nodes: int,
+    data_bytes: int,
+    partition_counts: Sequence[int],
+    variants: Sequence[str],
+    include_spark: bool = True,
+    output_to_disk: bool = True,
+    variant_max_partitions: Optional[Dict[str, int]] = None,
+) -> ResultTable:
+    """The common Fig 4a/4b shape: JCT per (variant, partition count).
+
+    ``variant_max_partitions`` skips expensive combinations (the merge
+    variant's task graphs grow quadratically in wall-clock cost).
+    """
+    caps = variant_max_partitions or {}
+    table = ResultTable(
+        title, ["variant", "partitions", "seconds", "disk_gb_written"]
+    )
+    for parts in partition_counts:
+        for variant in variants:
+            if parts > caps.get(variant, 10**9):
+                continue
+            result, rt = run_es_sort(
+                node, num_nodes, variant, parts, data_bytes,
+                output_to_disk=output_to_disk,
+            )
+            table.add_row(
+                variant=variant,
+                partitions=parts,
+                seconds=result.sort_seconds,
+                disk_gb_written=rt.counters.get("disk_bytes_written") / GB,
+            )
+        if include_spark:
+            spark = run_spark_sort_on(
+                node, num_nodes, parts, data_bytes,
+                output_to_disk=output_to_disk,
+            )
+            table.add_row(
+                variant="spark",
+                partitions=parts,
+                seconds=spark.sort_seconds,
+                disk_gb_written=spark.stats.get("disk_bytes_written", 0) / GB,
+            )
+    return table
+
+
+def column_by_variant(table: ResultTable, variant: str) -> Dict[int, float]:
+    """partition-count -> seconds for one variant."""
+    return {
+        row["partitions"]: row["seconds"]
+        for row in table.rows
+        if row["variant"] == variant
+    }
+
+
+def print_table(table: ResultTable, extra_lines: List[str] = ()) -> None:
+    print()
+    print(table.render())
+    for line in extra_lines:
+        print(line)
+
+
+def print_sort_figure_chart(table: ResultTable, title: str) -> None:
+    """Render a Fig 4-style JCT-vs-partitions chart next to the table."""
+    from repro.metrics.ascii_charts import grouped_bar_chart
+
+    groups: Dict[str, Dict[int, float]] = {}
+    for row in table.rows:
+        groups.setdefault(row["variant"], {})[row["partitions"]] = row["seconds"]
+    print()
+    print(grouped_bar_chart(title, groups))

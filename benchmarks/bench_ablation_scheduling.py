@@ -1,0 +1,54 @@
+"""Ablation: locality-aware scheduling and soft node affinity (§4.3.2).
+
+The push shuffle pins merge tasks per worker and relies on locality for
+the reduce stage.  Turning both off makes the scheduler place purely by
+load: merged blocks end up remote from their reducers and extra bytes
+cross the network, slowing the job.
+"""
+
+import pytest
+
+from repro.futures import RuntimeConfig
+from repro.metrics import ResultTable
+
+from benchmarks._harness import SCALED_TB, hdd_node, print_table, run_es_sort
+
+NUM_NODES = 10
+PARTITIONS = 200
+
+
+def _run_once(locality: bool):
+    config = RuntimeConfig(
+        enable_locality_scheduling=locality, enable_node_affinity=locality
+    )
+    result, rt = run_es_sort(
+        hdd_node(), NUM_NODES, "push*", PARTITIONS, SCALED_TB,
+        runtime_config=config,
+    )
+    return result.sort_seconds, rt.cluster.network_bytes_sent
+
+
+def _run_figure():
+    table = ResultTable(
+        "Ablation: locality + affinity scheduling (push*, 200 partitions)",
+        ["scheduling", "seconds", "network_gb"],
+    )
+    for locality in (True, False):
+        seconds, net = _run_once(locality)
+        table.add_row(
+            scheduling="locality+affinity" if locality else "load-only",
+            seconds=seconds,
+            network_gb=net / 1e9,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_locality_scheduling(benchmark):
+    table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
+    print_table(table)
+    with_locality = table.find(scheduling="locality+affinity")
+    without = table.find(scheduling="load-only")
+    # Locality keeps bytes off the network and the job faster.
+    assert with_locality["network_gb"] < without["network_gb"]
+    assert with_locality["seconds"] < without["seconds"]

@@ -1,0 +1,106 @@
+"""Figure 4a: 1 TB sort on 10 HDD nodes, JCT vs number of partitions.
+
+Scaled 10x (100 GB data, object stores scaled alike) on d3.2xlarge-like
+nodes.  Paper shape to reproduce:
+
+- ES-simple matches Spark at few partitions and degrades as partitions
+  grow (quadratic block count: seeks + per-object metadata);
+- ES-merge pays extra disk writes, losing at few partitions and closing
+  in at many;
+- ES-push / ES-push* stay flat and win at high partition counts;
+- everything sits above the theoretical 4D/B disk bound;
+- injected node failure (§5.1.5) adds recovery time for push variants.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, FailurePlan
+from repro.futures import RuntimeConfig
+from repro.sort import theoretical_sort_seconds
+
+from benchmarks._harness import (
+    print_sort_figure_chart,
+    SCALED_TB,
+    column_by_variant,
+    hdd_node,
+    print_table,
+    run_es_sort,
+    sort_figure_table,
+)
+
+NUM_NODES = 10
+PARTITIONS = [200, 400, 800]
+VARIANTS = ["simple", "merge", "push", "push*"]
+
+
+def _run_figure():
+    node = hdd_node()
+    table = sort_figure_table(
+        "Fig 4a: 1 TB sort, 10 HDD nodes (scaled 10x)",
+        node,
+        NUM_NODES,
+        SCALED_TB,
+        PARTITIONS,
+        VARIANTS,
+        # Riffle-style merge task graphs (F x R arguments per merge) get
+        # wall-clock expensive past 400 partitions; the trend is visible
+        # by then.
+        variant_max_partitions={"merge": 400},
+    )
+    theory = theoretical_sort_seconds(
+        ClusterSpec.homogeneous(node, NUM_NODES), SCALED_TB
+    )
+    # The §5.1.5 failure runs (semi-shaded bars): one worker killed 30 s
+    # (scaled: 3 s) into the job, restarted 10 s later.
+    failure_rows = []
+    for variant in ("push", "push*"):
+        result, rt = run_es_sort(
+            node,
+            NUM_NODES,
+            variant,
+            400,
+            SCALED_TB,
+            failures=[FailurePlan(at_time=3.0, downtime=10.0, node_index=3)],
+            runtime_config=RuntimeConfig(failure_detection_s=5.0),
+        )
+        failure_rows.append((variant, result.sort_seconds))
+    return table, theory, failure_rows
+
+
+@pytest.mark.benchmark(group="fig4a")
+def test_fig4a_hdd_sort(benchmark):
+    table, theory, failure_rows = benchmark.pedantic(
+        _run_figure, rounds=1, iterations=1
+    )
+    clean = {v: column_by_variant(table, v) for v in VARIANTS + ["spark"]}
+    extra = [f"theoretical 4D/B baseline: {theory:.1f}s"]
+    for variant, seconds in failure_rows:
+        extra.append(
+            f"with injected failure: {variant} at 400 partitions: {seconds:.1f}s"
+            f" (clean: {clean[variant][400]:.1f}s)"
+        )
+    print_table(table, extra)
+    print_sort_figure_chart(table, 'Fig 4a shape (seconds by partitions)')
+
+    # -- shape assertions -------------------------------------------------
+    # ES-simple degrades with partition count (>= 1.5x from best to worst).
+    simple = clean["simple"]
+    assert simple[max(PARTITIONS)] > 1.5 * min(simple.values())
+    # Push variants are insensitive to partition count (< 1.5x spread).
+    for variant in ("push", "push*"):
+        spread = clean[variant]
+        assert max(spread.values()) < 1.5 * min(spread.values())
+    # At high partition counts the push variants beat simple and Spark.
+    high = max(PARTITIONS)
+    assert clean["push*"][high] < simple[high]
+    assert clean["push*"][high] < clean["spark"][high]
+    # ES-merge pays extra writes at few partitions (slower than simple).
+    low = min(PARTITIONS)
+    assert clean["merge"][low] > simple[low]
+    # Everything respects the disk-bound lower limit.
+    for variant, per_parts in clean.items():
+        for seconds in per_parts.values():
+            assert seconds > theory * 0.95, (variant, seconds, theory)
+    # Failure runs cost extra time but stay within ~recovery bounds.
+    for variant, seconds in failure_rows:
+        assert seconds > clean[variant][400]

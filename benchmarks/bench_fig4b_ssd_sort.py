@@ -1,0 +1,62 @@
+"""Figure 4b: 1 TB sort on 10 SSD nodes, JCT vs number of partitions.
+
+Same sweep as Fig 4a on i3.2xlarge-like NVMe nodes (scaled 10x).  Paper
+shape: the SSD's high random IOPS shrink the I/O-efficiency gains, all
+Exoshuffle variants beat the Spark baseline, and the optimised push
+variants run close to the theoretical disk bound.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+
+from repro.sort import theoretical_sort_seconds
+
+from benchmarks._harness import (
+    print_sort_figure_chart,
+    SCALED_TB,
+    column_by_variant,
+    print_table,
+    sort_figure_table,
+    ssd_node,
+)
+
+NUM_NODES = 10
+PARTITIONS = [200, 400, 800]
+VARIANTS = ["simple", "merge", "push", "push*"]
+
+
+def _run_figure():
+    node = ssd_node()
+    table = sort_figure_table(
+        "Fig 4b: 1 TB sort, 10 SSD nodes (scaled 10x)",
+        node,
+        NUM_NODES,
+        SCALED_TB,
+        PARTITIONS,
+        VARIANTS,
+        variant_max_partitions={"merge": 400},
+    )
+    theory = theoretical_sort_seconds(
+        ClusterSpec.homogeneous(node, NUM_NODES), SCALED_TB
+    )
+    return table, theory
+
+
+@pytest.mark.benchmark(group="fig4b")
+def test_fig4b_ssd_sort(benchmark):
+    table, theory = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
+    print_table(table, [f"theoretical 4D/B baseline: {theory:.1f}s"])
+    print_sort_figure_chart(table, 'Fig 4b shape (seconds by partitions)')
+    clean = {v: column_by_variant(table, v) for v in VARIANTS + ["spark"]}
+
+    # SSDs mute the partition-count sensitivity: ES-simple's degradation
+    # is much smaller than on HDD (no seek wall, only metadata overhead).
+    simple = clean["simple"]
+    assert simple[800] < 2.5 * simple[200]
+    # The optimised push variant lands near the theoretical bound.
+    best_push = min(clean["push*"].values())
+    assert best_push < 2.2 * theory
+    # Exoshuffle variants beat Spark at high partition counts.
+    assert clean["push*"][800] < clean["spark"][800]
+    assert clean["simple"][800] < clean["spark"][800] * 1.6

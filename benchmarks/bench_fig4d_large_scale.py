@@ -1,0 +1,83 @@
+"""Figure 4d: the 100 TB sort on 100 HDD nodes.
+
+Scaled to 20 nodes and 5x-aggregate-memory data with partition:store
+ratio ~0.1, matching the paper's 2 GB partitions against 19 GiB stores.
+Spark runs with compression on (the paper does, because Spark without it
+is unstable at scale), which cuts its intermediate bytes by 40%.
+
+Paper shape: Spark-push beats native Spark (~1.6x) by eliminating random
+reads; ES-push* beats Spark-push (~1.8x) by eliminating the second copy
+of the intermediate data (Spark-push spills both un-merged and merged map
+outputs; ES-push* spills only the merged ones).
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.common.units import GB
+from repro.metrics import ResultTable
+from repro.sort import theoretical_sort_seconds
+
+from benchmarks._harness import hdd_node, print_table, run_es_sort, run_spark_sort_on
+
+NUM_NODES = 20
+PARTITIONS = 1000
+
+
+def _run_figure():
+    node = hdd_node()
+    data_bytes = int(5.3 * node.object_store_bytes * NUM_NODES)
+    table = ResultTable(
+        "Fig 4d: 100 TB sort, 100 HDD nodes (scaled: 20 nodes)",
+        ["system", "seconds", "intermediate_writes_gb"],
+    )
+    es_result, rt = run_es_sort(node, NUM_NODES, "push*", PARTITIONS, data_bytes)
+    # Intermediate writes = spill traffic during the sort (excludes the
+    # untimed datagen phase's input materialisation and the final output).
+    datagen_spill = data_bytes / GB  # input fully spills during datagen
+    table.add_row(
+        system="exoshuffle (push*)",
+        seconds=es_result.sort_seconds,
+        intermediate_writes_gb=max(
+            0.0, rt.counters.get("spill_bytes_written") / GB - datagen_spill
+        ),
+    )
+    spark_push = run_spark_sort_on(
+        node, NUM_NODES, PARTITIONS, data_bytes, push_based=True, compression=True
+    )
+    table.add_row(
+        system="spark-push",
+        seconds=spark_push.sort_seconds,
+        intermediate_writes_gb=(
+            spark_push.stats["shuffle_bytes_written"]
+            + spark_push.stats["merged_bytes_written"]
+        )
+        / GB,
+    )
+    spark = run_spark_sort_on(
+        node, NUM_NODES, PARTITIONS, data_bytes, compression=True
+    )
+    table.add_row(
+        system="spark",
+        seconds=spark.sort_seconds,
+        intermediate_writes_gb=spark.stats["shuffle_bytes_written"] / GB,
+    )
+    theory = theoretical_sort_seconds(
+        ClusterSpec.homogeneous(node, NUM_NODES), data_bytes
+    )
+    return table, theory
+
+
+@pytest.mark.benchmark(group="fig4d")
+def test_fig4d_large_scale_sort(benchmark):
+    table, theory = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
+    print_table(table, [f"theoretical 4D/B baseline: {theory:.1f}s"])
+    seconds = {row["system"]: row["seconds"] for row in table.rows}
+    # The ordering of the three bars.
+    assert seconds["exoshuffle (push*)"] < seconds["spark-push"] < seconds["spark"]
+    # Spark-push improves on native Spark materially (paper: 1.6x).
+    assert seconds["spark"] / seconds["spark-push"] > 1.2
+    # ES-push* beats Spark-push.  Known deviation (see EXPERIMENTS.md):
+    # the paper measures 1.8x, our simulated Spark engine lacks further
+    # JVM-era inefficiencies and lands nearer 1.1-1.2x.
+    assert seconds["spark-push"] / seconds["exoshuffle (push*)"] > 1.1

@@ -1,0 +1,100 @@
+"""Figure 5: online aggregation with streaming shuffle (§5.2.1).
+
+Scaled pageviews aggregation (Zipf page popularity, hourly blocks) on 10
+r6i-like nodes.  Paper shape:
+
+- streaming shuffle's *total* run time exceeds the regular shuffle's (the
+  paper measures 1.4x) because of the per-round partial-result work;
+- but a partial aggregate within 8% error of the final answer appears a
+  large factor earlier than the regular shuffle's only (final) answer
+  (the paper measures 22x).
+"""
+
+import pytest
+
+from repro.aggregation import run_online_aggregation
+from repro.cluster import R6I_2XLARGE
+from repro.futures import Runtime
+from repro.metrics import ResultTable
+from repro.workloads import PageviewDataset
+
+from benchmarks._harness import print_table, scaled_node
+
+NUM_NODES = 10
+NUM_REDUCES = 8
+
+
+def _dataset() -> PageviewDataset:
+    # 1 TB / 6 months scaled: ~34 GB over 168 "hours".
+    return PageviewDataset(
+        num_hours=168,
+        languages=8,
+        pages_per_language=400,
+        block_bytes=200 * 10**6,
+        views_per_hour=400_000,
+        seed=11,
+    )
+
+
+def _run_figure():
+    node = scaled_node(R6I_2XLARGE).with_object_store(
+        scaled_node(R6I_2XLARGE).object_store_bytes * 4
+    )  # data streams from S3 into memory; keep the store comfortable
+    data = _dataset()
+    results = {}
+    for mode in ("batch", "streaming"):
+        rt = Runtime.create(node, NUM_NODES)
+        results[mode] = run_online_aggregation(
+            rt, data, num_reduces=NUM_REDUCES, mode=mode, hours_per_round=12
+        )
+    table = ResultTable(
+        "Fig 5: online aggregation, 10 r6i nodes (scaled)",
+        ["mode", "total_seconds", "time_to_8pct_error", "final_error"],
+    )
+    for mode, result in results.items():
+        table.add_row(
+            mode=mode,
+            total_seconds=result.total_seconds,
+            time_to_8pct_error=result.first_time_within(0.08),
+            final_error=result.final_error,
+        )
+    return table, results
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_online_aggregation(benchmark):
+    table, results = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
+    batch, stream = results["batch"], results["streaming"]
+    speedup = batch.first_time_within(0.08) / stream.first_time_within(0.08)
+    print_table(
+        table,
+        [
+            f"partial-result speedup at 8% error: {speedup:.1f}x "
+            f"(paper: 22x)",
+            f"streaming total / batch total: "
+            f"{stream.total_seconds / batch.total_seconds:.2f}x (paper: 1.4x)",
+        ],
+    )
+    from repro.metrics.ascii_charts import line_chart
+
+    print()
+    print(
+        line_chart(
+            "Fig 5 shape: partial-result error over time",
+            {
+                "streaming": stream.error_series.samples,
+                "batch (final only)": batch.error_series.samples,
+            },
+        )
+    )
+    # Streaming trades total time for early partials.
+    assert stream.total_seconds > batch.total_seconds
+    assert stream.total_seconds < 2.5 * batch.total_seconds
+    # The 8%-error partial arrives far earlier than batch's only answer.
+    assert speedup > 4.0
+    # Both converge to the exact final ranking.
+    assert batch.final_error < 1e-6
+    assert stream.final_error < 1e-6
+    # Error decreases monotonically-ish over rounds (first > last).
+    errors = stream.error_series.values
+    assert errors[0] > errors[-1]

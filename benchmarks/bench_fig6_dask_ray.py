@@ -1,0 +1,95 @@
+"""Figure 6: shuffle on Dask vs a shared-memory-store backend (§5.3.1).
+
+Single fat node (32 vCPUs, 244 GB), DataFrame-style sort at 100
+partitions across growing data sizes.  Paper shape:
+
+- Dask multithreading ~3x slower than Dask-on-Ray on small data (GIL);
+- Dask multiprocessing matches on small data but *fails* (OOM) on large
+  data due to inter-process object copies;
+- the Ray-style shared-memory store completes every size (spilling when
+  needed), fastest or tied throughout.
+"""
+
+import pytest
+
+from repro.baselines.dask import DaskConfig, run_dask_sort
+from repro.cluster import LOCAL_32CPU
+from repro.common.units import GB
+from repro.futures import Runtime
+from repro.metrics import ResultTable
+from repro.sort import SortJobConfig, run_sort
+
+from benchmarks._harness import print_table
+
+DATA_SIZES = [20 * GB, 60 * GB, 120 * GB, 200 * GB]
+NUM_PARTITIONS = 100
+
+DASK_CONFIGS = [
+    DaskConfig(processes=32, threads_per_process=1),
+    DaskConfig(processes=8, threads_per_process=4),
+    DaskConfig(processes=1, threads_per_process=32),
+]
+
+
+def _ray_sort_seconds(data_bytes: int) -> float:
+    rt = Runtime.create(LOCAL_32CPU, 1)
+    result = run_sort(
+        rt,
+        SortJobConfig(
+            variant="simple",
+            num_partitions=NUM_PARTITIONS,
+            partition_bytes=data_bytes // NUM_PARTITIONS,
+            virtual=True,
+            output_to_disk=False,
+        ),
+    )
+    return result.sort_seconds
+
+
+def _run_figure():
+    table = ResultTable(
+        "Fig 6: Dask configs vs shared-memory store, single 32-vCPU node",
+        ["backend", "data_gb", "seconds", "oom"],
+    )
+    for data in DATA_SIZES:
+        for config in DASK_CONFIGS:
+            result = run_dask_sort(config, data, NUM_PARTITIONS)
+            table.add_row(
+                backend=f"dask {config.label}",
+                data_gb=data // GB,
+                seconds=result.seconds,
+                oom=result.oom,
+            )
+        table.add_row(
+            backend="dask-on-ray",
+            data_gb=data // GB,
+            seconds=_ray_sort_seconds(data),
+            oom=False,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_dask_vs_ray(benchmark):
+    table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
+    print_table(table)
+
+    def cell(backend, data_gb):
+        return table.find(backend=backend, data_gb=data_gb)
+
+    small, large = DATA_SIZES[0] // GB, DATA_SIZES[-1] // GB
+    # Threads: GIL-bound, ~3x slower than the shared store on small data.
+    assert (
+        cell("dask 1p x 32t", small)["seconds"]
+        > 2.0 * cell("dask-on-ray", small)["seconds"]
+    )
+    # Processes: competitive on small data...
+    assert (
+        cell("dask 32p x 1t", small)["seconds"]
+        < 2.0 * cell("dask-on-ray", small)["seconds"]
+    )
+    # ...but OOM on the largest size, while the shared store survives.
+    assert cell("dask 32p x 1t", large)["oom"]
+    for data in DATA_SIZES:
+        row = cell("dask-on-ray", data // GB)
+        assert not row["oom"] and row["seconds"] > 0

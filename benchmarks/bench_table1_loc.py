@@ -1,0 +1,49 @@
+"""Table 1: lines of code -- shuffle algorithms as libraries vs monoliths.
+
+Counts the non-blank, non-comment, non-docstring lines of each shuffle
+algorithm in ``repro.shuffle`` and compares against the monolithic-system
+sizes the paper reports (Spark's shuffle package, Riffle, Magnet).  Paper
+claim: an order of magnitude less code per algorithm.
+"""
+
+import pytest
+
+from repro.metrics import ResultTable
+from repro.tools.loc import PAPER_MONOLITHIC_LOC, shuffle_library_loc
+
+from benchmarks._harness import print_table
+
+#: The paper's Exoshuffle LoC, for reference alongside ours.
+PAPER_EXOSHUFFLE_LOC = {
+    "simple": 215,
+    "pre-shuffle merge": 265,
+    "push-based": 256,
+    "push-based with pipelining": 256,
+}
+
+
+def _run_table():
+    ours = shuffle_library_loc()
+    table = ResultTable(
+        "Table 1: shuffle implementation size (lines of code)",
+        ["algorithm", "monolithic_loc", "paper_exoshuffle_loc", "our_loc"],
+    )
+    for algorithm, loc in ours.items():
+        table.add_row(
+            algorithm=algorithm,
+            monolithic_loc=PAPER_MONOLITHIC_LOC[algorithm],
+            paper_exoshuffle_loc=PAPER_EXOSHUFFLE_LOC[algorithm],
+            our_loc=loc,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_lines_of_code(benchmark):
+    table = benchmark.pedantic(_run_table, rounds=1, iterations=1)
+    print_table(table)
+    for row in table.rows:
+        # Order of magnitude smaller than the monolithic counterpart.
+        assert row["our_loc"] * 10 <= row["monolithic_loc"]
+        # And sane: a real implementation, not a stub.
+        assert row["our_loc"] >= 30

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Fault tolerance demo: kill a node mid-sort and watch it recover (§5.1.5).
+
+Runs the same push-based sort twice -- once clean, once with a worker
+node killed 3 seconds into the job -- and shows lineage reconstruction
+re-executing lost work, with the output still validating.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.cluster import ClusterSpec, D3_2XLARGE, FailurePlan
+from repro.common.units import GB, GIB, format_duration
+from repro.futures import Runtime, RuntimeConfig
+from repro.sort import SortJobConfig, run_sort
+
+
+def run(with_failure: bool) -> None:
+    node = D3_2XLARGE.with_object_store(2 * GIB)
+    rt = Runtime(
+        ClusterSpec.homogeneous(node, 6),
+        RuntimeConfig(failure_detection_s=5.0),
+    )
+    failures = (
+        [FailurePlan(at_time=3.0, downtime=8.0, node_index=2)]
+        if with_failure
+        else []
+    )
+    config = SortJobConfig(
+        variant="push*",
+        num_partitions=60,
+        partition_bytes=(20 * GB) // 60,
+        virtual=True,
+        failures=failures,
+    )
+    result = run_sort(rt, config)
+    label = "with node failure" if with_failure else "clean run        "
+    print(
+        f"{label}: {format_duration(result.sort_seconds):>8s}  "
+        f"(validated={result.validated}, "
+        f"re-executed tasks={int(rt.counters.get('tasks_resubmitted'))}, "
+        f"node failures={int(rt.counters.get('node_failures'))})"
+    )
+    return result.sort_seconds
+
+
+def main() -> None:
+    print("sorting 20 GB on 6 HDD nodes with ES-push* ...")
+    clean = run(with_failure=False)
+    failed = run(with_failure=True)
+    print(
+        f"\nrecovery overhead: +{failed - clean:.1f}s "
+        "(failure detection + lineage re-execution)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Project the paper's 100 TB / 100-node sort at full node count.
+
+The benchmarks scale node counts down for wall-clock reasons; this script
+lets you run the Fig 4d comparison at any cluster size -- including the
+paper's 100 HDD nodes -- using virtual blocks, and prints the projected
+job completion times, the theoretical disk bound, and the CloudSort-style
+dollar cost.
+
+Run:  python examples/full_scale_projection.py              # 20 nodes, quick
+      python examples/full_scale_projection.py --nodes 100  # paper scale (minutes)
+"""
+
+import argparse
+import time
+
+from repro.cluster import ClusterSpec, D3_2XLARGE
+from repro.common.units import format_duration
+from repro.futures import Runtime
+from repro.sort import (
+    SortJobConfig,
+    cloudsort_cost,
+    run_sort,
+    theoretical_sort_seconds,
+)
+from repro.baselines.spark import SparkConfig, SparkSortJob
+from repro.cluster import Cluster
+from repro.simcore import Environment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=20)
+    parser.add_argument("--store-scale", type=int, default=10,
+                        help="object-store shrink factor (data shrinks alike)")
+    args = parser.parse_args()
+
+    node = D3_2XLARGE.with_object_store(
+        D3_2XLARGE.object_store_bytes // args.store_scale
+    )
+    spec = ClusterSpec.homogeneous(node, args.nodes)
+    # 5.3x aggregate store memory, the paper's data:memory ratio; partition
+    # at ~0.1x store, the paper's 2 GB : 19 GiB.
+    data_bytes = int(5.3 * node.object_store_bytes * args.nodes)
+    partitions = max(100, data_bytes // max(1, node.object_store_bytes // 10))
+    theory = theoretical_sort_seconds(spec, data_bytes)
+    print(
+        f"cluster: {args.nodes}x {node.name} | data: {data_bytes / 1e9:.0f} GB "
+        f"| partitions: {partitions} | theoretical 4D/B: {theory:.0f}s"
+    )
+
+    wall = time.time()
+    rt = Runtime(ClusterSpec.homogeneous(node, args.nodes))
+    es = run_sort(
+        rt,
+        SortJobConfig(
+            variant="push*",
+            num_partitions=partitions,
+            partition_bytes=data_bytes // partitions,
+            virtual=True,
+        ),
+    )
+    print(
+        f"exoshuffle push*: {format_duration(es.sort_seconds)} "
+        f"({es.sort_seconds / theory:.2f}x theoretical; "
+        f"simulated in {time.time() - wall:.0f}s wall)"
+    )
+
+    for push in (True, False):
+        env = Environment()
+        job = SparkSortJob(
+            Cluster.homogeneous(env, node, args.nodes),
+            config=SparkConfig(push_based=push, compression=True),
+            num_partitions=partitions,
+            partition_bytes=data_bytes // partitions,
+        )
+        result = job.run()
+        print(
+            f"{result.mode:>16s}: {format_duration(result.sort_seconds)} "
+            f"({result.sort_seconds / theory:.2f}x theoretical)"
+        )
+
+    cost = cloudsort_cost(
+        node.name, args.nodes, es.sort_seconds, data_bytes
+    )
+    print(f"\nCloudSort-style cost for the Exoshuffle run: {cost}")
+    print(
+        "(the paper's system went on to set the CloudSort record with "
+        "this architecture)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Run the Sort Benchmark with any shuffle variant and compare.
+
+The workload of §5.1: range-partitioned external sort of synthetic
+100-byte records on a simulated HDD cluster.  Runs every variant (or the
+one you name) and prints job completion times against the theoretical
+4D/B disk bound.
+
+Run:  python examples/sort_benchmark.py [simple|merge|magnet|push|push*]
+      python examples/sort_benchmark.py --partitions 200 --gb 50
+"""
+
+import argparse
+
+from repro.cluster import ClusterSpec, D3_2XLARGE
+from repro.common.units import GB, GIB, format_duration
+from repro.futures import Runtime
+from repro.metrics import ResultTable
+from repro.sort import (
+    SortJobConfig,
+    run_sort,
+    theoretical_sort_seconds,
+    VARIANTS,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("variant", nargs="?", choices=VARIANTS, default=None,
+                        help="shuffle variant (default: run all)")
+    parser.add_argument("--gb", type=float, default=20.0,
+                        help="dataset size in GB (default 20)")
+    parser.add_argument("--partitions", type=int, default=100)
+    parser.add_argument("--nodes", type=int, default=10)
+    args = parser.parse_args()
+
+    data_bytes = int(args.gb * GB)
+    node = D3_2XLARGE.with_object_store(2 * GIB)
+    spec = ClusterSpec.homogeneous(node, args.nodes)
+    theory = theoretical_sort_seconds(spec, data_bytes)
+    variants = [args.variant] if args.variant else list(VARIANTS)
+
+    table = ResultTable(
+        f"TeraSort {args.gb:.0f} GB, {args.partitions} partitions, "
+        f"{args.nodes} HDD nodes",
+        ["variant", "seconds", "vs_theory", "spilled_gb", "validated"],
+    )
+    for variant in variants:
+        rt = Runtime(ClusterSpec.homogeneous(node, args.nodes))
+        result = run_sort(
+            rt,
+            SortJobConfig(
+                variant=variant,
+                num_partitions=args.partitions,
+                partition_bytes=data_bytes // args.partitions,
+                virtual=True,
+            ),
+        )
+        table.add_row(
+            variant=variant,
+            seconds=result.sort_seconds,
+            vs_theory=result.sort_seconds / theory,
+            spilled_gb=rt.counters.get("spill_bytes_written") / GB,
+            validated=result.validated,
+        )
+        print(f"  {variant:7s} done in {format_duration(result.sort_seconds)}")
+    print()
+    print(table.render())
+    print(f"\ntheoretical disk bound (4D/B): {theory:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

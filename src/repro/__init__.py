@@ -1,0 +1,54 @@
+"""Exoshuffle reproduction.
+
+This package reproduces the system described in *Exoshuffle: An Extensible
+Shuffle Architecture* (SIGCOMM 2023).  It contains:
+
+- ``repro.simcore`` -- a deterministic discrete-event simulation engine.
+- ``repro.cluster`` -- a parameterised cluster model (CPU, memory, HDD/SSD,
+  network) with failure injection.
+- ``repro.futures`` -- a from-scratch distributed-futures runtime in the
+  style of Ray: shared-memory object store, spilling with write fusing,
+  pipelined argument prefetching, reference counting, lineage
+  reconstruction, and a locality-aware two-level scheduler.
+- ``repro.shuffle`` -- the paper's contribution: shuffle algorithms written
+  as short application-level libraries over distributed futures.
+- ``repro.baselines`` -- monolithic Spark-style shuffle, a Dask-style
+  futures backend, and a Petastorm-style windowed data loader.
+- ``repro.sort``, ``repro.ml``, ``repro.aggregation`` -- the end
+  applications evaluated in the paper.
+
+See ``DESIGN.md`` at the repository root for the full system inventory and
+the per-figure experiment index.
+"""
+
+from repro import common
+from repro.common.units import GB, GIB, KB, KIB, MB, MIB, TB
+
+
+def __getattr__(name):
+    """Lazy top-level conveniences: ``repro.Runtime``, ``repro.RuntimeConfig``.
+
+    Imported on first use so that ``import repro`` stays light.
+    """
+    if name in ("Runtime", "RuntimeConfig"):
+        from repro import futures
+
+        return getattr(futures, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = [
+    "common",
+    "Runtime",
+    "RuntimeConfig",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "GB",
+    "GIB",
+    "TB",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,9 @@
+"""Online aggregation with streaming shuffle (§3.2.1, §5.2.1, Fig 5)."""
+
+from repro.aggregation.app import (
+    AggregationResult,
+    kl_divergence,
+    run_online_aggregation,
+)
+
+__all__ = ["AggregationResult", "kl_divergence", "run_online_aggregation"]

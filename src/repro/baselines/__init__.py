@@ -1,0 +1,12 @@
+"""Baseline systems the paper compares against, built on the same
+simulated cluster substrate:
+
+- :mod:`repro.baselines.spark` -- a monolithic BSP MapReduce engine with
+  an external shuffle service, in native (pull) and push-based (Magnet /
+  "Spark-push") modes, with optional compression.
+- :mod:`repro.baselines.dask` -- a Dask-style futures backend with
+  per-executor object stores (process and thread modes) for the Fig 6
+  architecture comparison.
+- :mod:`repro.baselines.petastorm` -- a Petastorm-style windowed shuffle
+  buffer data loader for the Fig 8 ML comparison.
+"""

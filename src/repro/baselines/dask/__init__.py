@@ -1,0 +1,10 @@
+"""A Dask-style futures backend with per-executor object stores (Fig 6)."""
+
+from repro.baselines.dask.backend import (
+    DaskConfig,
+    DaskResult,
+    DaskSortJob,
+    run_dask_sort,
+)
+
+__all__ = ["DaskConfig", "DaskResult", "DaskSortJob", "run_dask_sort"]

@@ -1,0 +1,225 @@
+"""A Dask-style single-node futures backend (the §5.3.1 comparison).
+
+Dask and Ray are both distributed-futures systems; the architectural
+difference Fig 6 isolates is the *object store*:
+
+- Dask keeps objects in executor memory.  With **multiprocessing**,
+  every cross-worker dependency is serialised and copied between process
+  heaps -- extra CPU time and, crucially, duplicated memory that drives
+  large sorts out of memory.
+- With **multithreading** objects are shared in one heap, but the Python
+  GIL serialises the interpreter-bound fraction of every task, capping
+  parallelism (the paper measures ~3x slower than Dask-on-Ray on small
+  data).
+- Dask-on-Ray (the shared-memory store) is modelled by running the same
+  sort on :class:`repro.futures.Runtime` with a single fat node -- see
+  the Fig 6 benchmark.
+
+There is no spilling here: Dask's default worker behaviour under memory
+pressure in this experiment is failure, which is what the paper observed
+("Dask with multiprocessing fails due to high memory pressure").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import GB, MB
+from repro.metrics.core import Counters
+from repro.simcore import BandwidthResource, Environment, Event, Resource
+
+
+@dataclass
+class DaskConfig:
+    """One Dask deployment shape: N processes x M threads."""
+
+    processes: int = 8
+    threads_per_process: int = 4
+    total_memory_bytes: int = 244 * GB
+    #: Fraction of task compute that must hold the GIL (pure-Python
+    #: bookkeeping around the numpy kernels).  Amdahl: with many threads,
+    #: effective parallelism tends to 1/fraction.
+    gil_serial_fraction: float = 0.1
+    #: Serialisation + copy throughput between process heaps.
+    copy_bandwidth_bytes_per_sec: float = 2 * GB
+    sort_throughput_bytes_per_sec: float = 500 * MB
+    merge_throughput_bytes_per_sec: float = 1500 * MB
+    task_overhead_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.processes < 1 or self.threads_per_process < 1:
+            raise ValueError("need at least 1 process and 1 thread")
+        if not 0 <= self.gil_serial_fraction <= 1:
+            raise ValueError("GIL fraction must be in [0, 1]")
+        if self.total_memory_bytes <= 0:
+            raise ValueError("memory must be positive")
+
+    @property
+    def memory_per_process(self) -> int:
+        return self.total_memory_bytes // self.processes
+
+    @property
+    def label(self) -> str:
+        return f"{self.processes}p x {self.threads_per_process}t"
+
+
+@dataclass
+class DaskResult:
+    label: str
+    data_bytes: int
+    num_partitions: int
+    seconds: Optional[float]  # None when the job died of OOM
+    oom: bool
+    peak_heap_bytes: int
+    copied_bytes: int
+
+
+class _Process:
+    """One Dask worker process: thread slots, a GIL, a private heap."""
+
+    def __init__(self, env: Environment, index: int, config: DaskConfig) -> None:
+        self.index = index
+        self.slots = Resource(env, config.threads_per_process, name=f"p{index}.slots")
+        self.gil = Resource(env, 1, name=f"p{index}.gil")
+        self.copier = BandwidthResource(
+            env, config.copy_bandwidth_bytes_per_sec, name=f"p{index}.copier"
+        )
+        self.heap_used = 0
+        self.heap_peak = 0
+        self.limit = config.memory_per_process
+
+    def charge(self, nbytes: int) -> None:
+        self.heap_used += nbytes
+        self.heap_peak = max(self.heap_peak, self.heap_used)
+        if self.heap_used > self.limit:
+            raise OutOfMemoryError(
+                f"dask worker {self.index} exceeded its memory limit "
+                f"({self.heap_used} > {self.limit} bytes)"
+            )
+
+    def release(self, nbytes: int) -> None:
+        self.heap_used -= nbytes
+
+
+class DaskSortJob:
+    """A two-stage range-partition sort on the Dask-style backend."""
+
+    def __init__(
+        self,
+        config: DaskConfig,
+        data_bytes: int,
+        num_partitions: int = 100,
+    ) -> None:
+        if num_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.config = config
+        self.data_bytes = data_bytes
+        self.num_partitions = num_partitions
+        self.env = Environment()
+        self.procs = [
+            _Process(self.env, i, config) for i in range(config.processes)
+        ]
+        self.counters = Counters()
+        # block ownership: (stage, m, r) -> process index
+        self._owner: Dict[Tuple[str, int, int], int] = {}
+
+    # -- execution helpers ---------------------------------------------------
+    def _compute(
+        self, proc: _Process, nbytes: float, throughput: float
+    ) -> Iterator[Event]:
+        """Charge ``nbytes`` of compute with GIL semantics."""
+        seconds = nbytes / throughput + self.config.task_overhead_s
+        serial = seconds * self.config.gil_serial_fraction
+        parallel = seconds - serial
+        if parallel > 0:
+            yield self.env.timeout(parallel)
+        if serial > 0:
+            gil_req = proc.gil.request()
+            yield gil_req
+            try:
+                yield self.env.timeout(serial)
+            finally:
+                gil_req.cancel()
+
+    def _map_task(self, m: int) -> Iterator[Event]:
+        proc = self.procs[m % len(self.procs)]
+        slot = proc.slots.request()
+        yield slot
+        try:
+            part_bytes = self.data_bytes // self.num_partitions
+            proc.charge(part_bytes)  # the loaded input partition
+            yield from self._compute(
+                proc, 2 * part_bytes, self.config.sort_throughput_bytes_per_sec
+            )
+            proc.charge(part_bytes)  # the partitioned map output blocks
+            for r in range(self.num_partitions):
+                self._owner[("map", m, r)] = proc.index
+            proc.release(part_bytes)  # input released after the map
+        finally:
+            slot.cancel()
+
+    def _reduce_task(self, r: int) -> Iterator[Event]:
+        proc = self.procs[r % len(self.procs)]
+        slot = proc.slots.request()
+        yield slot
+        try:
+            block = self.data_bytes // (self.num_partitions * self.num_partitions)
+            fetched = 0
+            for m in range(self.num_partitions):
+                owner = self.procs[self._owner[("map", m, r)]]
+                if owner.index != proc.index:
+                    # Serialise out of the owner, copy into our heap.
+                    yield owner.copier.transfer(block)
+                    proc.charge(block)
+                    fetched += block
+                    self.counters.add("copied_bytes", block)
+                # Same-process blocks are shared (threads) at no cost.
+            reduce_bytes = self.data_bytes // self.num_partitions
+            yield from self._compute(
+                proc, 2 * reduce_bytes, self.config.merge_throughput_bytes_per_sec
+            )
+            proc.charge(reduce_bytes)  # the sorted output partition
+            proc.release(fetched)  # copied inputs dropped after the merge
+        finally:
+            slot.cancel()
+
+    def _job(self) -> Iterator[Event]:
+        maps = [
+            self.env.process(self._map_task(m), name=f"dask-map-{m}")
+            for m in range(self.num_partitions)
+        ]
+        yield self.env.all_of(maps)
+        reduces = [
+            self.env.process(self._reduce_task(r), name=f"dask-reduce-{r}")
+            for r in range(self.num_partitions)
+        ]
+        yield self.env.all_of(reduces)
+
+    def run(self) -> DaskResult:
+        """Execute the sort; OOM is reported in the result, not raised."""
+        job = self.env.process(self._job(), name="dask-sort")
+        oom = False
+        seconds: Optional[float] = None
+        try:
+            self.env.run_until_event(job)
+            seconds = self.env.now
+        except OutOfMemoryError:
+            oom = True
+        return DaskResult(
+            label=self.config.label,
+            data_bytes=self.data_bytes,
+            num_partitions=self.num_partitions,
+            seconds=seconds,
+            oom=oom,
+            peak_heap_bytes=sum(p.heap_peak for p in self.procs),
+            copied_bytes=int(self.counters.get("copied_bytes")),
+        )
+
+
+def run_dask_sort(
+    config: DaskConfig, data_bytes: int, num_partitions: int = 100
+) -> DaskResult:
+    """Convenience: build and run one Dask-style sort job."""
+    return DaskSortJob(config, data_bytes, num_partitions).run()

@@ -1,0 +1,8 @@
+"""Petastorm-style windowed shuffle buffer data loader (Fig 8 baseline)."""
+
+from repro.baselines.petastorm.loader import (
+    PetastormLoader,
+    windowed_shuffle_order,
+)
+
+__all__ = ["PetastormLoader", "windowed_shuffle_order"]

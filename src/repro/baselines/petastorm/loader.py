@@ -1,0 +1,133 @@
+"""The Petastorm-style data loader (§5.2.2).
+
+The design the paper critiques (shared with tf.data and the PyTorch
+DataLoader): a single per-process reader streams the dataset *in storage
+order*, decoding into a bounded in-memory buffer; "shuffling" draws
+randomly from that window.  Consequences reproduced here:
+
+- the shuffle window is tied to the buffer size: too large -> OOM, too
+  small -> batches stay close to storage order (label-biased for our
+  dataset), hurting convergence;
+- the reader is one process decoding at parquet-ish rates, so when
+  decode throughput is below the accelerator's consumption rate the GPU
+  starves -- no distributed, multi-core shuffle is possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.rng import seeded_rng
+from repro.common.units import MB
+from repro.futures import ObjectRef, Runtime
+from repro.ml.dataset import TabularBlock
+
+
+def windowed_shuffle_order(
+    blocks: List[TabularBlock],
+    window_records: int,
+    rng: np.random.Generator,
+    out_block_records: int,
+) -> Iterator[TabularBlock]:
+    """Stream ``blocks`` in order through a shuffle window.
+
+    Classic reservoir-window shuffle: keep ``window_records`` rows
+    buffered; each emitted row is drawn uniformly from the buffer and
+    replaced by the next row of the stream.  Rows are emitted re-chunked
+    into blocks of ``out_block_records``.
+    """
+    if window_records < 1 or out_block_records < 1:
+        raise ValueError("window and block sizes must be >= 1")
+    features = np.concatenate([b.features for b in blocks])
+    labels = np.concatenate([b.labels for b in blocks])
+    total = len(labels)
+    window = min(window_records, total)
+    buffer_idx = np.arange(window)
+    next_row = window
+    emitted: List[int] = []
+    out_index = 0
+    for _ in range(total):
+        pick = int(rng.integers(0, len(buffer_idx)))
+        emitted.append(int(buffer_idx[pick]))
+        if next_row < total:
+            buffer_idx[pick] = next_row
+            next_row += 1
+        else:
+            buffer_idx = np.delete(buffer_idx, pick)
+        if len(emitted) == out_block_records:
+            rows = np.asarray(emitted)
+            yield TabularBlock(
+                features[rows], labels[rows],
+                io_scale=blocks[0].io_scale, index=out_index,
+            )
+            emitted, out_index = [], out_index + 1
+    if emitted:
+        rows = np.asarray(emitted)
+        yield TabularBlock(
+            features[rows], labels[rows],
+            io_scale=blocks[0].io_scale, index=out_index,
+        )
+
+
+class PetastormLoader:
+    """Single-reader windowed-buffer loader over stored partitions."""
+
+    def __init__(
+        self,
+        rt: Runtime,
+        partition_refs: List[ObjectRef],
+        window_bytes: int,
+        buffer_budget_bytes: int,
+        decode_throughput_bytes_per_sec: float = 250 * MB,
+        seed: int = 0,
+    ) -> None:
+        if not partition_refs:
+            raise ValueError("loader needs at least one partition")
+        if window_bytes > buffer_budget_bytes:
+            raise OutOfMemoryError(
+                f"shuffle window ({window_bytes} B) exceeds the reader's "
+                f"memory buffer ({buffer_budget_bytes} B)"
+            )
+        self.rt = rt
+        self.partition_refs = list(partition_refs)
+        self.window_bytes = window_bytes
+        self.decode_throughput = decode_throughput_bytes_per_sec
+        self.seed = seed
+        # The single reader process is a global serialisation point: the
+        # decode chain continues across epochs.
+        self._token: object = None
+
+    def submit_epoch(self, epoch: int) -> List[ObjectRef]:
+        """Chain single-threaded decode tasks over the partitions.
+
+        Returns one ref per partition, in storage order.  The chaining
+        token serialises the reads (one reader process); decode cost is
+        charged per byte at parquet-decode rates.
+        """
+        decode_rate = self.decode_throughput
+
+        def decode(_token, block: TabularBlock) -> TabularBlock:
+            return block
+
+        task = self.rt.remote(
+            decode,
+            compute=lambda ctx: ctx.output_bytes / decode_rate,
+            node=self.rt.driver_node_id,  # the trainer's own reader process
+        )
+        refs: List[ObjectRef] = []
+        for ref in self.partition_refs:
+            out = task.remote(self._token, ref)
+            refs.append(out)
+            self._token = out
+        return refs
+
+    def window_records(self, record_bytes: int) -> int:
+        """The shuffle window expressed in records."""
+        return max(1, self.window_bytes // record_bytes)
+
+    def epoch_rng(self, epoch: int) -> np.random.Generator:
+        """The deterministic window-shuffle RNG for one epoch."""
+        return seeded_rng(self.seed, "window", epoch)

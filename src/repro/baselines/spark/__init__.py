@@ -1,0 +1,10 @@
+"""A monolithic Spark-like shuffle engine (the Fig 4 baseline)."""
+
+from repro.baselines.spark.engine import (
+    SparkConfig,
+    SparkResult,
+    SparkSortJob,
+    run_spark_sort,
+)
+
+__all__ = ["SparkConfig", "SparkResult", "SparkSortJob", "run_spark_sort"]

@@ -1,0 +1,316 @@
+"""A monolithic BSP shuffle engine in the architectural style of Spark.
+
+This is the comparison system for Fig 4: shuffle coordination baked into
+the framework, an external shuffle service (ESS) per node serving map
+output blocks from disk, strict stage barriers, and no pipelining between
+the map and reduce stages.
+
+Two modes reproduce the two Spark baselines of §5.1.4:
+
+- *native* -- map tasks write one sorted, partitioned spill file each;
+  reduce tasks pull their block out of every map file, paying one random
+  disk read per (map, reduce) pair.  At M x R block counts this hits the
+  IOPS wall, which is Spark's classic small-I/O problem.
+- *push-based* ("Spark-push", i.e. Magnet) -- map outputs are
+  additionally pushed to the reducer's node during the map stage and
+  merged into per-reducer files, so the reduce stage reads sequentially.
+  The cost is double write amplification: both the un-merged map files
+  and the merged files hit disk (§5.1.4: "Spark-push also spills the
+  un-merged map outputs").
+
+Compression shrinks intermediate bytes by ``compression_ratio`` at extra
+CPU cost; the paper runs the 100 TB comparison with Spark compression on
+because Spark is unstable without it at that scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.common.units import MB
+from repro.metrics.core import Counters
+from repro.simcore import Environment, Event
+
+
+@dataclass
+class SparkConfig:
+    """Engine parameters (mirroring the runtime config of the ES side)."""
+
+    push_based: bool = False
+    compression: bool = False
+    #: Compressed bytes = ratio x raw bytes ("reducing total bytes spilled
+    #: by 40%" -> ratio 0.6).
+    compression_ratio: float = 0.6
+    #: Extra CPU seconds per raw byte for compress+decompress, on top of
+    #: the base processing cost.
+    compression_cpu_bytes_per_sec: float = 400 * MB
+    cpu_throughput_bytes_per_sec: float = 500 * MB
+    #: Merging pre-sorted runs (the reduce side) is cheaper than sorting;
+    #: matches the Exoshuffle side's MERGE_THROUGHPUT for a fair fight.
+    merge_throughput_bytes_per_sec: float = 1500 * MB
+    task_overhead_s: float = 2e-3
+    #: Push-mode merge granularity: pushed blocks accumulate and are
+    #: merged/written in batches of roughly this size per node.
+    push_merge_batch_bytes: int = 64 * MB
+
+    #: Push-mode merged files are appended per-reducer in chunks of about
+    #: this size; on HDD each append to a different reducer file pays a
+    #: seek.  (Magnet's merged-file write pattern; one of the costs that
+    #: keeps Spark-push above ES-push*, §5.1.4.)
+    push_append_chunk_bytes: int = 2 * MB
+
+    #: Fraction of blocks successfully merged in push mode.  Magnet's
+    #: push is best-effort: blocks that miss the merge window are fetched
+    #: the native way (random reads) by reducers.  ~0.85-0.95 in
+    #: production per the Magnet paper.
+    push_merge_ratio: float = 0.85
+
+    #: Uniform JVM tax on compute (serialisation, object churn, GC):
+    #: every CPU second costs (1 + fraction) simulated seconds.  The
+    #: Exoshuffle side does not pay this -- Ray's data plane is C++ and
+    #: the sort kernels are native.
+    jvm_overhead_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0 < self.compression_ratio <= 1:
+            raise ValueError("compression ratio must be in (0, 1]")
+        if self.cpu_throughput_bytes_per_sec <= 0:
+            raise ValueError("cpu throughput must be positive")
+        if not 0 <= self.push_merge_ratio <= 1:
+            raise ValueError("push merge ratio must be in [0, 1]")
+        if self.jvm_overhead_fraction < 0:
+            raise ValueError("JVM overhead must be non-negative")
+
+
+@dataclass
+class SparkResult:
+    mode: str
+    num_partitions: int
+    total_bytes: int
+    sort_seconds: float
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+class SparkSortJob:
+    """One TeraSort execution on the monolithic engine."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[SparkConfig] = None,
+        num_partitions: int = 16,
+        partition_bytes: int = 64 * MB,
+        num_reduces: Optional[int] = None,
+        output_to_disk: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = config or SparkConfig()
+        self.num_partitions = num_partitions
+        self.partition_bytes = partition_bytes
+        self.num_reduces = num_reduces or num_partitions
+        self.output_to_disk = output_to_disk
+        self.counters = Counters()
+        self.nodes = cluster.nodes
+        self._map_home = [
+            self.nodes[m % len(self.nodes)] for m in range(num_partitions)
+        ]
+        self._reduce_home = [
+            self.nodes[r % len(self.nodes)] for r in range(self.num_reduces)
+        ]
+        # Pushed-but-unmerged bytes pending merge, per node.
+        self._push_backlog: Dict[object, int] = {node.node_id: 0 for node in self.nodes}
+        self._merge_events: List[Event] = []
+
+    # -- cost helpers -------------------------------------------------------
+    def _cpu_seconds(
+        self,
+        nbytes: float,
+        compressed_bytes: float = 0.0,
+        throughput: Optional[float] = None,
+    ) -> float:
+        rate = throughput or self.config.cpu_throughput_bytes_per_sec
+        seconds = nbytes / rate
+        if self.config.compression and compressed_bytes:
+            seconds += compressed_bytes / self.config.compression_cpu_bytes_per_sec
+        return seconds * (1.0 + self.config.jvm_overhead_fraction)
+
+    @property
+    def _intermediate_ratio(self) -> float:
+        return self.config.compression_ratio if self.config.compression else 1.0
+
+    # -- stages -----------------------------------------------------------------
+    def _map_task(self, m: int) -> Iterator[Event]:
+        node = self._map_home[m]
+        core = node.cpu.request()
+        yield core
+        try:
+            yield self.env.timeout(self.config.task_overhead_s)
+            # Input scan.
+            yield node.disk_read(self.partition_bytes, sequential=True)
+            self.counters.add("disk_bytes_read", self.partition_bytes)
+            # Partition + sort (+ compress).
+            out_bytes = int(self.partition_bytes * self._intermediate_ratio)
+            yield self.env.timeout(
+                self._cpu_seconds(2 * self.partition_bytes, out_bytes)
+            )
+            # One sorted, partitioned spill file per map task.
+            yield node.disk_write(out_bytes, sequential=True)
+            self.counters.add("disk_bytes_written", out_bytes)
+            self.counters.add("shuffle_bytes_written", out_bytes)
+        finally:
+            core.cancel()
+        if self.config.push_based:
+            yield from self._push_blocks(node, out_bytes)
+
+    def _push_blocks(self, src_node, out_bytes: int) -> Iterator[Event]:
+        """Push this map's output to each reducer-home node and enqueue
+        reducer-side merges (overlapped with the map stage).
+
+        The push source is the just-written shuffle file: the ESS reads
+        it back from disk before sending (Magnet pushes from the map
+        output file, not from executor memory).
+        """
+        yield src_node.disk_read(out_bytes, sequential=True)
+        self.counters.add("disk_bytes_read", out_bytes)
+        per_node_bytes: Dict[object, int] = {}
+        for r in range(self.num_reduces):
+            home = self._reduce_home[r].node_id
+            per_node_bytes[home] = per_node_bytes.get(home, 0) + (
+                out_bytes // self.num_reduces
+            )
+        sends = []
+        for node_id, nbytes in per_node_bytes.items():
+            sends.append(self.cluster.send(src_node.node_id, node_id, nbytes))
+            self._push_backlog[node_id] += nbytes
+        yield self.env.all_of(sends)
+        for node_id in per_node_bytes:
+            self._maybe_flush_merge(node_id)
+
+    def _maybe_flush_merge(self, node_id, force: bool = False) -> None:
+        backlog = self._push_backlog[node_id]
+        if backlog == 0:
+            return
+        if not force and backlog < self.config.push_merge_batch_bytes:
+            return
+        self._push_backlog[node_id] = 0
+        node = self.cluster.node(node_id)
+        # Merged write on the reducer side: the second copy of every
+        # intermediate byte in push mode, appended across this node's
+        # per-reducer merged files in chunks -- each chunk switches files
+        # and pays a seek.
+        chunks = max(1, backlog // self.config.push_append_chunk_bytes)
+        write = node.disk.transfer(
+            backlog, latency=chunks * node.disk.per_op_latency
+        )
+        self.counters.add("disk_bytes_written", backlog)
+        self.counters.add("merged_bytes_written", backlog)
+        self._merge_events.append(write)
+
+    def _reduce_task(self, r: int) -> Iterator[Event]:
+        node = self._reduce_home[r]
+        core = node.cpu.request()
+        yield core
+        try:
+            yield self.env.timeout(self.config.task_overhead_s)
+            raw_reduce_bytes = (
+                self.num_partitions * self.partition_bytes
+            ) // self.num_reduces
+            fetched = int(raw_reduce_bytes * self._intermediate_ratio)
+            if self.config.push_based:
+                # One read of the pre-merged per-reducer file, plus
+                # native-style random fetches for the blocks that missed
+                # the best-effort merge window.
+                merged_part = int(fetched * self.config.push_merge_ratio)
+                yield node.disk_read(merged_part, sequential=False)
+                self.counters.add("disk_bytes_read", merged_part)
+                missed_maps = int(
+                    self.num_partitions * (1 - self.config.push_merge_ratio)
+                )
+                block = max(1, fetched // self.num_partitions)
+                for m in range(missed_maps):
+                    src = self._map_home[m]
+                    yield src.disk_read(block, sequential=False)
+                    self.counters.add("disk_bytes_read", block)
+                    if src.node_id != node.node_id:
+                        yield self.cluster.send(src.node_id, node.node_id, block)
+            else:
+                # One random read per map output file, via the source ESS.
+                block = max(1, fetched // self.num_partitions)
+                for m in range(self.num_partitions):
+                    src = self._map_home[m]
+                    yield src.disk_read(block, sequential=False)
+                    self.counters.add("disk_bytes_read", block)
+                    if src.node_id != node.node_id:
+                        yield self.cluster.send(
+                            src.node_id, node.node_id, block
+                        )
+            # Merge of pre-sorted runs (+ decompress).
+            yield self.env.timeout(
+                self._cpu_seconds(
+                    2 * raw_reduce_bytes,
+                    fetched,
+                    throughput=self.config.merge_throughput_bytes_per_sec,
+                )
+            )
+            if self.output_to_disk:
+                yield node.disk_write(raw_reduce_bytes, sequential=True)
+                self.counters.add("disk_bytes_written", raw_reduce_bytes)
+        finally:
+            core.cancel()
+
+    # -- orchestration ------------------------------------------------------
+    def _job(self) -> Iterator[Event]:
+        map_stage = [
+            self.env.process(self._map_task(m), name=f"spark-map-{m}")
+            for m in range(self.num_partitions)
+        ]
+        yield self.env.all_of(map_stage)
+        if self.config.push_based:
+            for node in self.nodes:
+                self._maybe_flush_merge(node.node_id, force=True)
+            if self._merge_events:
+                yield self.env.all_of(self._merge_events)
+        # Stage barrier: reducers start only now (no pipelining across the
+        # boundary -- the monolithic weakness §2.2 describes).
+        reduce_stage = [
+            self.env.process(self._reduce_task(r), name=f"spark-reduce-{r}")
+            for r in range(self.num_reduces)
+        ]
+        yield self.env.all_of(reduce_stage)
+
+    def run(self) -> SparkResult:
+        """Execute the job to completion; returns timing and I/O stats."""
+        start = self.env.now
+        done = self.env.process(self._job(), name="spark-job")
+        self.env.run_until_event(done)
+        mode = "spark-push" if self.config.push_based else "spark"
+        return SparkResult(
+            mode=mode,
+            num_partitions=self.num_partitions,
+            total_bytes=self.num_partitions * self.partition_bytes,
+            sort_seconds=self.env.now - start,
+            stats=self.counters.as_dict(),
+        )
+
+
+def run_spark_sort(
+    spec: ClusterSpec,
+    num_partitions: int,
+    partition_bytes: int,
+    config: Optional[SparkConfig] = None,
+    output_to_disk: bool = True,
+) -> SparkResult:
+    """Convenience: fresh cluster, one sort, results."""
+    env = Environment()
+    cluster = Cluster(env, spec)
+    job = SparkSortJob(
+        cluster,
+        config=config,
+        num_partitions=num_partitions,
+        partition_bytes=partition_bytes,
+        output_to_disk=output_to_disk,
+    )
+    return job.run()

@@ -1,0 +1,37 @@
+"""Data-plane payloads: blocks of keyed records, real or virtual.
+
+The paper moves terabytes of 100-byte records; this reproduction runs the
+same algorithms over two interchangeable payload types:
+
+- :class:`RealBlock` -- an actual numpy array of integer keys (plus a
+  per-record payload width).  Used at MB scale to validate true
+  end-to-end sortedness and aggregation correctness.
+- :class:`VirtualBlock` -- size and key-range metadata only.  Used at
+  TB scale so the runtime's allocation, spilling, transfer, and GC paths
+  are exercised with realistic byte counts without materialising the data.
+
+Both satisfy the same interface (``size_bytes``, ``num_records``,
+``key_range``, ``sorted``), and :mod:`repro.blocks.ops` implements
+partition/merge/sort over either, conserving record counts exactly --
+the invariant the property-based tests check.
+"""
+
+from repro.blocks.real import RealBlock
+from repro.blocks.virtual import VirtualBlock
+from repro.blocks.ops import (
+    concat_blocks,
+    merge_sorted_blocks,
+    partition_block,
+    sort_block,
+    total_records,
+)
+
+__all__ = [
+    "RealBlock",
+    "VirtualBlock",
+    "partition_block",
+    "merge_sorted_blocks",
+    "sort_block",
+    "concat_blocks",
+    "total_records",
+]

@@ -1,0 +1,72 @@
+"""Failure injection for the §5.1.5 fault-tolerance experiments.
+
+The paper's methodology: "we fail and restart a random worker node 30
+seconds after the start of the run", losing both the executors and the
+node's object store.  :class:`FailurePlan` describes such events
+declaratively; :class:`FailureInjector` schedules them on the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.rng import seeded_rng
+from repro.cluster.fabric import Cluster
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """Kill one node at ``at_time``; restart it ``downtime`` later.
+
+    ``node_index`` picks the victim among the cluster's nodes; ``None``
+    selects pseudo-randomly from ``seed`` (never node 0, which by
+    convention hosts the driver -- the paper fails a *worker* node).
+    """
+
+    at_time: float
+    downtime: float = 10.0
+    node_index: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("failure time must be non-negative")
+        if self.downtime < 0:
+            raise ValueError("downtime must be non-negative")
+
+
+class FailureInjector:
+    """Schedules :class:`FailurePlan` events against a cluster."""
+
+    def __init__(self, cluster: Cluster, plans: Sequence[FailurePlan] = ()) -> None:
+        self.cluster = cluster
+        self.plans = list(plans)
+        self.injected: List[tuple] = []  # (time, node_id) log, for assertions
+        for plan in self.plans:
+            self._schedule(plan)
+
+    def _choose_victim_index(self, plan: FailurePlan) -> int:
+        num_nodes = len(self.cluster)
+        if plan.node_index is not None:
+            if not 0 <= plan.node_index < num_nodes:
+                raise ValueError(
+                    f"node_index {plan.node_index} out of range "
+                    f"(cluster has {num_nodes} nodes)"
+                )
+            return plan.node_index
+        if num_nodes < 2:
+            raise ValueError("random victim selection needs >= 2 nodes")
+        rng = seeded_rng(plan.seed, "failure", plan.at_time)
+        return int(rng.integers(1, num_nodes))
+
+    def _schedule(self, plan: FailurePlan) -> None:
+        victim_index = self._choose_victim_index(plan)
+        node = self.cluster.nodes[victim_index]
+
+        def kill() -> None:
+            self.injected.append((self.cluster.env.now, node.node_id))
+            node.fail()
+            self.cluster.env.call_later(plan.downtime, node.restart)
+
+        self.cluster.env.call_later(plan.at_time, kill)

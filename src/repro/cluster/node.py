@@ -1,0 +1,102 @@
+"""A simulated machine: resources plus liveness state."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List
+
+from repro.common.ids import NodeId
+from repro.simcore import BandwidthResource, Environment, Event, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.specs import NodeSpec
+
+
+class Node:
+    """One cluster node with CPU, disk, and NIC resources.
+
+    Liveness: :meth:`fail` marks the node dead, fails its I/O devices, and
+    notifies registered death listeners (the runtime uses these to
+    interrupt resident tasks and drop store contents).  :meth:`restart`
+    brings the node back with empty state, incrementing ``incarnation`` so
+    stale references to the previous life can be detected.
+    """
+
+    def __init__(self, env: Environment, node_id: NodeId, spec: "NodeSpec") -> None:
+        self.env = env
+        self.node_id = node_id
+        self.spec = spec
+        self.alive = True
+        self.incarnation = 0
+        self.cpu = Resource(env, spec.cores, name=f"{node_id}.cpu")
+        self.disk = BandwidthResource(
+            env,
+            spec.disk.bandwidth_bytes_per_sec,
+            per_op_latency=spec.disk.effective_seek_latency_s,
+            name=f"{node_id}.disk",
+        )
+        self.nic_in = BandwidthResource(
+            env,
+            spec.nic.bandwidth_bytes_per_sec,
+            per_op_latency=spec.nic.per_message_latency_s,
+            name=f"{node_id}.nic_in",
+        )
+        self.nic_out = BandwidthResource(
+            env,
+            spec.nic.bandwidth_bytes_per_sec,
+            per_op_latency=spec.nic.per_message_latency_s,
+            name=f"{node_id}.nic_out",
+        )
+        self._death_listeners: List[Callable[["Node"], None]] = []
+        self._restart_listeners: List[Callable[["Node"], None]] = []
+
+    # -- I/O convenience ---------------------------------------------------
+    def disk_write(self, nbytes: int, sequential: bool = True) -> Event:
+        """Write ``nbytes`` to the local disk array.
+
+        Sequential writes skip the seek penalty (the head is already
+        positioned); random writes pay it.
+        """
+        latency = 0.0 if sequential else None
+        return self.disk.transfer(nbytes, latency=latency)
+
+    def disk_read(self, nbytes: int, sequential: bool = False) -> Event:
+        """Read ``nbytes``; shuffle-block reads are random by default."""
+        latency = 0.0 if sequential else None
+        return self.disk.transfer(nbytes, latency=latency)
+
+    # -- liveness -----------------------------------------------------------
+    def on_death(self, listener: Callable[["Node"], None]) -> None:
+        """Register a callback invoked when this node fails."""
+        self._death_listeners.append(listener)
+
+    def on_restart(self, listener: Callable[["Node"], None]) -> None:
+        """Register a callback invoked when this node comes back up."""
+        self._restart_listeners.append(listener)
+
+    def fail(self) -> None:
+        """Kill the node: I/O fails, listeners fire. Idempotent."""
+        if not self.alive:
+            return
+        self.alive = False
+        error = IOError(f"node {self.node_id} failed")
+        self.disk.set_failed(error)
+        self.nic_in.set_failed(error)
+        self.nic_out.set_failed(error)
+        for listener in list(self._death_listeners):
+            listener(self)
+
+    def restart(self) -> None:
+        """Revive the node with empty state. Idempotent while alive."""
+        if self.alive:
+            return
+        self.alive = True
+        self.incarnation += 1
+        self.disk.set_failed(None)
+        self.nic_in.set_failed(None)
+        self.nic_out.set_failed(None)
+        for listener in list(self._restart_listeners):
+            listener(self)
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "DOWN"
+        return f"<Node {self.node_id} {self.spec.name} {status}>"

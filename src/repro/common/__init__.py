@@ -1,0 +1,49 @@
+"""Shared building blocks: units, identifiers, errors, seeded randomness."""
+
+from repro.common.errors import (
+    LineageReconstructionError,
+    ObjectLostError,
+    OutOfMemoryError,
+    ReproError,
+    SchedulingError,
+    TaskExecutionError,
+)
+from repro.common.ids import IdGenerator, NodeId, ObjectId, TaskId
+from repro.common.rng import derive_seed, seeded_rng
+from repro.common.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    TB,
+    format_bytes,
+    format_duration,
+    parse_bytes,
+)
+
+__all__ = [
+    "ReproError",
+    "OutOfMemoryError",
+    "ObjectLostError",
+    "TaskExecutionError",
+    "SchedulingError",
+    "LineageReconstructionError",
+    "IdGenerator",
+    "NodeId",
+    "ObjectId",
+    "TaskId",
+    "derive_seed",
+    "seeded_rng",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "GB",
+    "GIB",
+    "TB",
+    "format_bytes",
+    "format_duration",
+    "parse_bytes",
+]

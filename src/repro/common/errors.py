@@ -1,0 +1,42 @@
+"""Exception hierarchy shared across the runtime and applications."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class OutOfMemoryError(ReproError):
+    """An allocation could not be satisfied even after spilling.
+
+    Raised by stores that have no spill path (e.g. the Dask-style
+    per-executor heap stores in :mod:`repro.baselines.dask`) or when a
+    single object exceeds every fallback capacity.
+    """
+
+
+class ObjectLostError(ReproError):
+    """An object's last copy was lost and could not be reconstructed."""
+
+    def __init__(self, object_id: object, reason: str = "") -> None:
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"object {object_id} lost{detail}")
+        self.object_id = object_id
+
+
+class TaskExecutionError(ReproError):
+    """A task's user function raised; carries the underlying cause."""
+
+    def __init__(self, task_id: object, cause: BaseException) -> None:
+        super().__init__(f"task {task_id} failed: {cause!r}")
+        self.task_id = task_id
+        self.cause = cause
+
+
+class SchedulingError(ReproError):
+    """A task could not be placed (e.g. no alive node satisfies it)."""
+
+
+class LineageReconstructionError(ReproError):
+    """Reconstruction failed: lineage was truncated or inputs unrecoverable."""

@@ -1,0 +1,37 @@
+"""Deterministic randomness helpers.
+
+Every stochastic choice in the reproduction (record keys, Zipf page
+popularity, scheduler tie-breaking jitter, failure times) flows from an
+explicit seed so that tests and benchmark tables are exactly repeatable.
+``derive_seed`` splits a root seed into independent streams by name, so
+adding a new consumer never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, *names: object) -> int:
+    """Derive a child seed from a root seed and a path of names.
+
+    The derivation hashes the path, so streams are independent and stable:
+
+    >>> derive_seed(7, "map", 3) == derive_seed(7, "map", 3)
+    True
+    >>> derive_seed(7, "map", 3) != derive_seed(7, "map", 4)
+    True
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(root_seed)).encode())
+    for name in names:
+        digest.update(b"/")
+        digest.update(str(name).encode())
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
+def seeded_rng(root_seed: int, *names: object) -> np.random.Generator:
+    """Return a numpy ``Generator`` seeded from ``derive_seed``."""
+    return np.random.default_rng(derive_seed(root_seed, *names))

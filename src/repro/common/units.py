@@ -1,0 +1,89 @@
+"""Byte and time units, with human-readable formatting and parsing.
+
+All sizes in this codebase are plain ``int`` bytes and all simulated
+durations are ``float`` seconds.  These helpers exist so that configuration
+and log output can speak in the units the paper uses (MB blocks, GB
+partitions, TB datasets) without ambiguity about decimal vs binary
+multiples.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Decimal units -- used for dataset sizes, matching the sort benchmark's
+# definition (a "100 TB" dataset is 1e14 bytes of 100-byte records).
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+# Binary units -- used for memory capacities (a 64 GiB node).
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+
+_SUFFIXES = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+}
+
+_BYTES_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]+)\s*$")
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a human-readable size such as ``"2GB"`` or ``"512 MiB"``.
+
+    >>> parse_bytes("2GB")
+    2000000000
+    >>> parse_bytes("1 GiB")
+    1073741824
+    """
+    match = _BYTES_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable byte size: {text!r}")
+    value, suffix = match.groups()
+    multiplier = _SUFFIXES.get(suffix.lower())
+    if multiplier is None:
+        raise ValueError(f"unknown byte suffix {suffix!r} in {text!r}")
+    return int(float(value) * multiplier)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with a decimal suffix.
+
+    >>> format_bytes(1500000)
+    '1.50MB'
+    """
+    size = float(num_bytes)
+    for suffix, scale in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(size) >= scale:
+            return f"{size / scale:.2f}{suffix}"
+    return f"{int(size)}B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the most natural unit.
+
+    >>> format_duration(93.5)
+    '1m33.5s'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rem:.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes}m{rem:.0f}s"

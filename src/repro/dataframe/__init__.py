@@ -1,0 +1,18 @@
+"""A distributed DataFrame built on shuffle-as-a-library.
+
+The paper's related work (§6) points out that DataFrame engines (Dask,
+Spark, Modin, Polars, Vaex) each rebuild shuffle for ``sort`` and
+``groupby``.  This package demonstrates the alternative the paper argues
+for: a DataFrame layer whose shuffle-backed operators are a few lines
+over the shuffle library, inheriting its spilling, pipelining, and fault
+tolerance for free.
+
+    frame = DistributedFrame.from_arrays(rt, {"k": keys, "v": vals}, 16)
+    by_key = frame.sort_values("k")
+    totals = frame.groupby_sum("k", ["v"])
+"""
+
+from repro.dataframe.block import FrameBlock
+from repro.dataframe.frame import DistributedFrame
+
+__all__ = ["FrameBlock", "DistributedFrame"]

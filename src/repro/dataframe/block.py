@@ -1,0 +1,189 @@
+"""Column-oriented partition blocks for the distributed DataFrame."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+class FrameBlock:
+    """One partition: a dict of equally-long numpy columns."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Dict[str, np.ndarray]) -> None:
+        if not columns:
+            raise ValueError("a frame block needs at least one column")
+        lengths = {name: len(col) for name, col in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        self.columns = {
+            name: np.asarray(col) for name, col in columns.items()
+        }
+
+    # -- shape -----------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self.columns)
+
+    @property
+    def size_bytes(self) -> int:
+        return int(sum(col.nbytes for col in self.columns.values()))
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    # -- row-wise operations ----------------------------------------------------
+    def take(self, row_indices: np.ndarray) -> "FrameBlock":
+        """A new block with the given rows, in the given order."""
+        return FrameBlock(
+            {name: col[row_indices] for name, col in self.columns.items()}
+        )
+
+    def filter_rows(self, mask: np.ndarray) -> "FrameBlock":
+        """Rows where ``mask`` is True."""
+        return self.take(np.flatnonzero(mask))
+
+    def sort_by(self, column: str) -> "FrameBlock":
+        """Rows stably sorted by one column."""
+        return self.take(np.argsort(self.columns[column], kind="stable"))
+
+    def with_column(self, name: str, values: np.ndarray) -> "FrameBlock":
+        """A new block with an added or replaced column."""
+        if len(values) != self.num_rows:
+            raise ValueError("new column length mismatch")
+        merged = dict(self.columns)
+        merged[name] = np.asarray(values)
+        return FrameBlock(merged)
+
+    # -- partitioning -------------------------------------------------------
+    def range_partition(
+        self, column: str, bounds: Sequence
+    ) -> List["FrameBlock"]:
+        """Split rows into ``len(bounds)+1`` blocks by ``column`` ranges."""
+        buckets = np.searchsorted(np.asarray(bounds), self.columns[column], "right")
+        return self._split_by_bucket(buckets, len(bounds) + 1)
+
+    def hash_partition(self, column: str, num_buckets: int) -> List["FrameBlock"]:
+        """Split rows by a deterministic hash of ``column``."""
+        values = self.columns[column]
+        if values.dtype.kind in ("i", "u"):
+            hashed = values.astype(np.uint64)
+        else:
+            hashed = np.array(
+                [hash(str(v)) & 0x7FFFFFFF for v in values], dtype=np.uint64
+            )
+        buckets = (hashed * np.uint64(2654435761)) % np.uint64(num_buckets)
+        return self._split_by_bucket(buckets.astype(np.int64), num_buckets)
+
+    def _split_by_bucket(
+        self, buckets: np.ndarray, num_buckets: int
+    ) -> List["FrameBlock"]:
+        order = np.argsort(buckets, kind="stable")
+        sorted_buckets = buckets[order]
+        splits = np.searchsorted(sorted_buckets, np.arange(1, num_buckets))
+        pieces = np.split(order, splits)
+        return [self.take(piece) for piece in pieces]
+
+    # -- combination ------------------------------------------------------------
+    @staticmethod
+    def concat(blocks: Sequence["FrameBlock"]) -> "FrameBlock":
+        if not blocks:
+            raise ValueError("cannot concat zero blocks")
+        names = blocks[0].column_names
+        for block in blocks:
+            if block.column_names != names:
+                raise ValueError("schema mismatch in concat")
+        return FrameBlock(
+            {
+                name: np.concatenate([block.columns[name] for block in blocks])
+                for name in names
+            }
+        )
+
+    # -- aggregation ----------------------------------------------------------
+    _AGG_FNS: Dict[str, Callable] = {
+        "sum": np.add.reduceat,
+        "min": np.minimum.reduceat,
+        "max": np.maximum.reduceat,
+    }
+
+    def groupby_agg(
+        self, key: str, aggregations: Dict[str, str]
+    ) -> "FrameBlock":
+        """Group rows by ``key`` and aggregate value columns.
+
+        Supported: sum, min, max, count, mean.  ``mean`` is decomposed
+        into sum+count by the frame layer, so block-level aggregation only
+        sees decomposable operations (required for map-side combining).
+        """
+        ordered = self.sort_by(key)
+        keys = ordered.columns[key]
+        if keys.size == 0:
+            out = {key: keys}
+            for col, op in aggregations.items():
+                out[_agg_column_name(col, op)] = ordered.columns.get(
+                    col, keys
+                )[:0]
+            return FrameBlock(out)
+        starts = np.flatnonzero(np.concatenate(([True], keys[1:] != keys[:-1])))
+        out = {key: keys[starts]}
+        for col, op in aggregations.items():
+            if op == "count":
+                ends = np.append(starts[1:], keys.size)
+                out[_agg_column_name(col, op)] = ends - starts
+            elif op in self._AGG_FNS:
+                out[_agg_column_name(col, op)] = self._AGG_FNS[op](
+                    ordered.columns[col], starts
+                )
+            else:
+                raise ValueError(f"unsupported aggregation {op!r}")
+        return FrameBlock(out)
+
+    # -- joins --------------------------------------------------------------
+    def join(
+        self, other: "FrameBlock", on: str, suffix: str = "_right"
+    ) -> "FrameBlock":
+        """Inner equi-join on ``on``; one output row per matching pair.
+
+        Right-side columns colliding with left names get ``suffix``.
+        """
+        left_keys = self.columns[on]
+        right_sorted = other.sort_by(on)
+        right_keys = right_sorted.columns[on]
+        lo = np.searchsorted(right_keys, left_keys, side="left")
+        hi = np.searchsorted(right_keys, left_keys, side="right")
+        counts = hi - lo
+        left_idx = np.repeat(np.arange(self.num_rows), counts)
+        if left_idx.size:
+            offsets = np.concatenate(
+                [np.arange(c) + start for start, c in zip(lo, counts) if c]
+            )
+        else:
+            offsets = np.array([], dtype=int)
+        out: Dict[str, np.ndarray] = {}
+        for name, col in self.columns.items():
+            out[name] = col[left_idx]
+        for name, col in right_sorted.columns.items():
+            if name == on:
+                continue
+            out_name = name if name not in self.columns else name + suffix
+            out[out_name] = col[offsets]
+        if not out:
+            raise ValueError("join produced no columns")
+        return FrameBlock(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameBlock(rows={self.num_rows}, "
+            f"cols={self.column_names}, bytes={self.size_bytes})"
+        )
+
+
+def _agg_column_name(column: str, op: str) -> str:
+    return f"{column}_{op}"

@@ -1,0 +1,96 @@
+"""Runtime configuration knobs.
+
+Each field corresponds to a mechanism in §4 of the paper; the Fig 7
+microbenchmark and the ablation benches toggle them individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import MB
+
+
+@dataclass
+class RuntimeConfig:
+    """Tunable behaviour of the distributed-futures data plane."""
+
+    # -- compute cost model -------------------------------------------------
+    #: Bytes of task input+output one core processes per second when a task
+    #: declares no explicit compute cost.  Calibrated so that sort-style
+    #: record processing is somewhat faster than a d3 node's disk, making
+    #: disk the bottleneck as the paper observes (§5.1.1).
+    cpu_throughput_bytes_per_sec: float = 500 * MB
+
+    #: Fixed scheduling/launch overhead per task, seconds.  Models RPC and
+    #: worker lease costs.
+    task_overhead_s: float = 2e-3
+
+    #: Metadata cost per task argument and per return object, seconds.  A
+    #: distributed-futures system tracks every object individually, so a
+    #: simple shuffle's M x R blocks cost O(M x R) metadata work -- the
+    #: paper's main scalability limitation (§7) and a driver of ES-simple's
+    #: degradation at high partition counts (§5.1.2).  Monolithic systems
+    #: share per-stage metadata and do not pay this.
+    per_object_overhead_s: float = 0.1e-3
+
+    # -- object store ---------------------------------------------------------
+    #: Spill objects when the allocation queue is backlogged (always true in
+    #: the paper; exposed for tests).
+    enable_spilling: bool = True
+
+    #: Coalesce spilled objects into files of at least this size (§4.2.2,
+    #: "Ray fuses objects into at least 100 MB files").
+    fuse_min_bytes: int = 100 * MB
+
+    #: When False, every spilled object becomes its own file and every
+    #: spill write pays a seek (the Fig 7 "fusing off" ablation).
+    enable_write_fusing: bool = True
+
+    #: Fetch arguments of queued tasks ahead of execution using spare store
+    #: memory (§4.2.2).  The Fig 7 "prefetch off" ablation disables this.
+    enable_prefetching: bool = True
+
+    #: Maximum number of in-flight argument prefetches per node.
+    prefetch_concurrency: int = 8
+
+    #: Fraction of store capacity that prefetched-but-unexecuted arguments
+    #: may occupy, bounding thrashing from over-eager fetching.
+    prefetch_capacity_fraction: float = 0.5
+
+    # -- scheduling --------------------------------------------------------
+    #: Prefer placing a task where most of its argument bytes live.
+    enable_locality_scheduling: bool = True
+
+    #: Honour soft node-affinity hints (§4.3.2).
+    enable_node_affinity: bool = True
+
+    # -- fault tolerance ------------------------------------------------------
+    #: Reconstruct lost objects by re-executing their creating tasks
+    #: (§4.2.3).  When False, a lost object raises ObjectLostError.
+    enable_lineage_reconstruction: bool = True
+
+    #: Seconds between a node dying and the runtime noticing (heartbeat
+    #: timeout).  Contributes to the 20-50 s recovery delta in §5.1.5.
+    failure_detection_s: float = 10.0
+
+    #: Backoff before retrying a fetch whose source died mid-transfer.
+    fetch_retry_backoff_s: float = 1.0
+
+    # -- misc -----------------------------------------------------------------
+    #: Root seed for any stochastic runtime behaviour (tie-breaking).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cpu_throughput_bytes_per_sec <= 0:
+            raise ValueError("cpu throughput must be positive")
+        if self.task_overhead_s < 0 or self.per_object_overhead_s < 0:
+            raise ValueError("task overheads must be non-negative")
+        if self.fuse_min_bytes < 1:
+            raise ValueError("fuse_min_bytes must be positive")
+        if self.prefetch_concurrency < 1:
+            raise ValueError("prefetch concurrency must be >= 1")
+        if not 0 < self.prefetch_capacity_fraction <= 1:
+            raise ValueError("prefetch capacity fraction must be in (0, 1]")
+        if self.failure_detection_s < 0:
+            raise ValueError("failure detection delay must be non-negative")

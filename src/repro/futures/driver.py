@@ -1,0 +1,116 @@
+"""Deterministic co-simulation of plain-Python driver code.
+
+The paper's shuffle libraries are ordinary blocking Python programs
+(Listings 1-3): they call ``.remote()`` eagerly and block on ``get`` /
+``wait``.  To run such code unchanged against the simulated cluster, the
+driver executes on its own thread with a strict handoff against the
+simulation loop: at any instant exactly one of {driver thread, simulation
+loop} is running.
+
+- While the driver runs, the simulation is parked, so driver-side calls
+  into runtime state need no locks and simulated time does not advance
+  (driver CPU time is free, as in the paper's model where the driver only
+  submits metadata).
+- When the driver blocks (``get``, ``wait``, ``sleep``), it hands the
+  loop a wake-up event; the loop steps the simulation until that event is
+  processed, then hands control back.
+
+The result is fully deterministic: the interleaving is a function of the
+program, not of OS scheduling.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Tuple
+
+from repro.simcore import Environment, Event
+
+
+class DriverError(RuntimeError):
+    """The simulation deadlocked or was misused from the driver."""
+
+
+class DriverHost:
+    """Runs one driver function against a simulation environment."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._thread: Optional[threading.Thread] = None
+        self._sim_sem = threading.Semaphore(0)
+        self._driver_sem = threading.Semaphore(0)
+        self._wake: Optional[Event] = None
+        self._outcome: Optional[Tuple[str, Any]] = None
+        self._active = False
+
+    @property
+    def in_driver(self) -> bool:
+        """True when called from the driver thread of an active run."""
+        return self._active and threading.current_thread() is self._thread
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Execute ``fn(*args, **kwargs)`` as the driver; return its result.
+
+        Must be called from the simulation's controlling thread.  The
+        simulation advances only while the driver is blocked.
+        """
+        if self._active:
+            raise DriverError("a driver is already running")
+        self._active = True
+        self._outcome = None
+        self._wake = None
+
+        def body() -> None:
+            try:
+                result = fn(*args, **kwargs)
+                self._outcome = ("ok", result)
+            except BaseException as exc:  # noqa: BLE001 - re-raised in run()
+                self._outcome = ("err", exc)
+            finally:
+                self._sim_sem.release()
+
+        self._thread = threading.Thread(
+            target=body, name="repro-driver", daemon=True
+        )
+        self._thread.start()
+        try:
+            while True:
+                self._sim_sem.acquire()
+                if self._outcome is not None:
+                    self._thread.join(timeout=30)
+                    kind, value = self._outcome
+                    if kind == "err":
+                        raise value
+                    return value
+                wake = self._wake
+                assert wake is not None, "driver blocked without a wake event"
+                self._drive_until(wake)
+                self._driver_sem.release()
+        finally:
+            self._active = False
+
+    def _drive_until(self, wake: Event) -> None:
+        env = self.env
+        while not wake.processed:
+            if env.peek() == float("inf"):
+                raise DriverError(
+                    f"simulation deadlock at t={env.now}: driver is blocked "
+                    f"on {wake!r} but no events remain"
+                )
+            env.step()
+
+    # -- called from the driver thread ----------------------------------------
+    def block_on(self, event: Event) -> Any:
+        """Park the driver until ``event`` is processed; return its value.
+
+        Raises the event's exception (in the driver) if it failed.
+        """
+        if not self.in_driver:
+            raise DriverError(
+                "blocking driver APIs (get/wait/sleep) may only be called "
+                "from inside a Runtime.run() driver function"
+            )
+        self._wake = event
+        self._sim_sem.release()
+        self._driver_sem.acquire()
+        return event.value

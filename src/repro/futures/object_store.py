@@ -1,0 +1,293 @@
+"""The per-node shared-memory object store (§4.2.1-4.2.2).
+
+The store manages a fixed byte budget.  Allocations (new task outputs, and
+copies of objects fetched as task arguments) go through a FIFO queue: if
+spare memory exists the request is granted immediately; otherwise the
+store first drops *cached copies* (objects fetched from elsewhere whose
+primary copy lives on another node or on disk -- dropping them costs no
+I/O), and if that is not enough the request parks in the queue and the
+node's spill manager is nudged.
+
+Entries are *primary* (this store holds the authoritative in-memory copy,
+which must be spilled before being dropped) or *cached* (re-fetchable).
+Pins mark entries in active use by an executing task or in-flight
+transfer; pinned entries are never dropped or spilled.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.common.ids import NodeId, ObjectId
+from repro.simcore import Environment, Event
+
+
+class _Entry:
+    __slots__ = ("size", "primary", "pins")
+
+    def __init__(self, size: int, primary: bool, pins: int) -> None:
+        self.size = size
+        self.primary = primary
+        self.pins = pins
+
+
+class AllocationRequest:
+    """A queued claim for store memory."""
+
+    __slots__ = ("object_id", "size", "primary", "pin", "event")
+
+    def __init__(
+        self,
+        env: Environment,
+        object_id: ObjectId,
+        size: int,
+        primary: bool,
+        pin: bool,
+    ) -> None:
+        self.object_id = object_id
+        self.size = size
+        self.primary = primary
+        self.pin = pin
+        self.event = Event(env)
+
+
+class ObjectStore:
+    """One node's object store."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: NodeId,
+        capacity_bytes: int,
+        on_pressure: Optional[Callable[[], None]] = None,
+        on_evict_cached: Optional[Callable[[ObjectId], None]] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("store capacity must be positive")
+        self.env = env
+        self.node_id = node_id
+        self.capacity = capacity_bytes
+        self.used_bytes = 0
+        #: Bytes of entries currently pinned by executing/fetching tasks.
+        #: The prefetcher gates on this to bound fetch-ahead memory.
+        self.pinned_bytes = 0
+        # Insertion-ordered so eviction/spill candidates come out oldest
+        # first, approximating Ray's creation-order spilling.
+        self._entries: "OrderedDict[ObjectId, _Entry]" = OrderedDict()
+        self._queue: Deque[AllocationRequest] = deque()
+        self._on_pressure = on_pressure or (lambda: None)
+        self._on_evict_cached = on_evict_cached or (lambda oid: None)
+        # statistics
+        self.total_allocations = 0
+        self.cached_evictions = 0
+        self.peak_used_bytes = 0
+
+    # -- queries ------------------------------------------------------------
+    def contains(self, object_id: ObjectId) -> bool:
+        """True if the object is resident in this store."""
+        return object_id in self._entries
+
+    def entry_size(self, object_id: ObjectId) -> int:
+        """Stored size of a resident entry."""
+        return self._entries[object_id].size
+
+    def is_primary(self, object_id: ObjectId) -> bool:
+        """True if this store holds the authoritative copy."""
+        return self._entries[object_id].primary
+
+    @property
+    def spare_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog_bytes(self) -> int:
+        return sum(req.size for req in self._queue)
+
+    def head_request(self) -> Optional[AllocationRequest]:
+        """The oldest queued allocation, if any."""
+        return self._queue[0] if self._queue else None
+
+    def objects(self) -> List[ObjectId]:
+        """Resident object ids in insertion order."""
+        return list(self._entries)
+
+    # -- allocation ------------------------------------------------------------
+    def allocate(
+        self, object_id: ObjectId, size: int, primary: bool, pin: bool = False
+    ) -> Event:
+        """Reserve ``size`` bytes for ``object_id``.
+
+        The returned event succeeds once the entry is resident.  Objects
+        already resident are granted immediately (idempotent; a cached
+        entry is upgraded to primary if requested).
+        """
+        if size < 0:
+            raise ValueError("negative allocation size")
+        self.total_allocations += 1
+        existing = self._entries.get(object_id)
+        if existing is not None:
+            if primary:
+                existing.primary = True
+            if pin:
+                self.pin(object_id)
+            done = Event(self.env)
+            done.succeed("resident")
+            return done
+        request = AllocationRequest(self.env, object_id, size, primary, pin)
+        if self._try_grant(request):
+            return request.event
+        self._queue.append(request)
+        self._on_pressure()
+        return request.event
+
+    def try_allocate(
+        self, object_id: ObjectId, size: int, primary: bool, pin: bool = False
+    ) -> bool:
+        """Allocate only if it fits right now (no queueing); True on success.
+
+        Used by restore and prefetch paths that have a cheaper fallback
+        (reading through from disk) and must not park in the queue.
+        """
+        if object_id in self._entries:
+            if pin:
+                self.pin(object_id)
+            if primary:
+                self._entries[object_id].primary = True
+            return True
+        request = AllocationRequest(self.env, object_id, size, primary, pin)
+        return self._try_grant(request)
+
+    def _try_grant(self, request: AllocationRequest) -> bool:
+        if request.size > self.capacity - self.used_bytes:
+            self._evict_cached(request.size - (self.capacity - self.used_bytes))
+        if request.size > self.capacity - self.used_bytes:
+            return False
+        self._admit(request)
+        return True
+
+    def _admit(self, request: AllocationRequest) -> None:
+        self.used_bytes += request.size
+        self.peak_used_bytes = max(self.peak_used_bytes, self.used_bytes)
+        self._entries[request.object_id] = _Entry(
+            request.size, request.primary, 1 if request.pin else 0
+        )
+        if request.pin:
+            self.pinned_bytes += request.size
+        request.event.succeed("memory")
+
+    def _evict_cached(self, needed: int) -> int:
+        """Drop unpinned cached copies until ``needed`` bytes are freed."""
+        freed = 0
+        victims = [
+            oid
+            for oid, entry in self._entries.items()
+            if not entry.primary and entry.pins == 0
+        ]
+        for oid in victims:
+            if freed >= needed:
+                break
+            entry = self._entries.pop(oid)
+            self.used_bytes -= entry.size
+            freed += entry.size
+            self.cached_evictions += 1
+            self._on_evict_cached(oid)
+        return freed
+
+    def pump(self) -> None:
+        """Grant queued requests that now fit (called after memory frees)."""
+        while self._queue:
+            request = self._queue[0]
+            if not self._try_grant(request):
+                break
+            self._queue.popleft()
+        if self._queue:
+            self._on_pressure()
+
+    def take_head_request(self) -> Optional[AllocationRequest]:
+        """Remove and return the oldest queued request (for disk fallback)."""
+        return self._queue.popleft() if self._queue else None
+
+    # -- pinning -----------------------------------------------------------
+    def pin(self, object_id: ObjectId) -> None:
+        """Mark an entry in active use (never dropped or spilled)."""
+        entry = self._entries[object_id]
+        if entry.pins == 0:
+            self.pinned_bytes += entry.size
+        entry.pins += 1
+
+    def unpin(self, object_id: ObjectId) -> None:
+        """Release one pin (no-op if absent or unpinned)."""
+        entry = self._entries.get(object_id)
+        if entry is not None and entry.pins > 0:
+            entry.pins -= 1
+            if entry.pins == 0:
+                self.pinned_bytes -= entry.size
+
+    def demote_to_cached(self, object_id: ObjectId) -> None:
+        """Mark an entry re-fetchable (its authoritative copy is elsewhere,
+        e.g. it was just spilled to disk)."""
+        entry = self._entries.get(object_id)
+        if entry is not None:
+            entry.primary = False
+
+    # -- release -----------------------------------------------------------------
+    def free(self, object_id: ObjectId) -> bool:
+        """Drop an entry unconditionally (GC or post-spill); True if present."""
+        entry = self._entries.pop(object_id, None)
+        if entry is None:
+            return False
+        self.used_bytes -= entry.size
+        if entry.pins > 0:
+            self.pinned_bytes -= entry.size
+        self.pump()
+        return True
+
+    def spill_candidates(
+        self,
+        max_bytes: int,
+        skip: Optional[Callable[[ObjectId], bool]] = None,
+    ) -> List[Tuple[ObjectId, int]]:
+        """Oldest unpinned primary entries totalling up to ``max_bytes``.
+
+        ``skip`` lets the caller protect objects that queued local tasks
+        are about to consume -- spilling those would just force an
+        immediate restore.
+        """
+        chosen: List[Tuple[ObjectId, int]] = []
+        total = 0
+        for oid, entry in self._entries.items():
+            if total >= max_bytes:
+                break
+            if entry.primary and entry.pins == 0:
+                if skip is not None and skip(oid):
+                    continue
+                chosen.append((oid, entry.size))
+                total += entry.size
+        return chosen
+
+    def clear(self) -> List[ObjectId]:
+        """Drop everything (node death); returns the object ids lost.
+
+        Queued allocation requests fail: their waiters (tasks on the dying
+        node) are being interrupted anyway.
+        """
+        lost = list(self._entries)
+        self._entries.clear()
+        self.used_bytes = 0
+        self.pinned_bytes = 0
+        queue, self._queue = self._queue, deque()
+        for request in queue:
+            if not request.event.triggered:
+                request.event.fail(IOError(f"store on {self.node_id} cleared"))
+        return lost
+
+    def __repr__(self) -> str:
+        return (
+            f"<ObjectStore {self.node_id} {self.used_bytes}/{self.capacity}B "
+            f"entries={len(self._entries)} backlog={len(self._queue)}>"
+        )

@@ -1,0 +1,97 @@
+"""The user-facing remote-function API (``@runtime.remote``).
+
+Mirrors the Ray API shown in the paper's listings::
+
+    sort_map = rt.remote(sort_map_fn)
+    refs = sort_map.options(num_returns=R).remote(part)
+    value = rt.get(refs[0])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from typing import TYPE_CHECKING, Any, Callable, List, Sequence, Union
+
+from repro.futures.refs import ObjectRef
+from repro.futures.task import TaskOptions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.futures.runtime import Runtime
+
+
+class RemoteFunction:
+    """A Python function bound to a runtime, invocable as a task."""
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        fn: Callable[..., Any],
+        options: TaskOptions,
+    ) -> None:
+        if not callable(fn):
+            raise TypeError(f"remote target must be callable, got {fn!r}")
+        self._runtime = runtime
+        self._fn = fn
+        self._options = options
+        self._is_generator = inspect.isgeneratorfunction(fn)
+        self._name = options.name or getattr(fn, "__name__", "anonymous")
+
+    @property
+    def fn(self) -> Callable[..., Any]:
+        return self._fn
+
+    @property
+    def task_options(self) -> TaskOptions:
+        return self._options
+
+    def options(self, **overrides: Any) -> "RemoteFunction":
+        """A copy of this remote function with updated task options."""
+        new_options = dataclasses.replace(self._options, **overrides)
+        return RemoteFunction(self._runtime, self._fn, new_options)
+
+    def remote(self, *args: Any) -> Union[ObjectRef, List[ObjectRef]]:
+        """Submit one invocation; non-blocking.
+
+        Returns one :class:`ObjectRef` when ``num_returns == 1``, else a
+        list of refs (one per return), exactly like Ray.
+        """
+        _reject_nested_refs(args)
+        refs = self._runtime.submit_task(
+            self._fn, args, self._options, self._name, self._is_generator
+        )
+        if self._options.num_returns == 1:
+            return refs[0]
+        return refs
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        raise TypeError(
+            f"remote function {self._name!r} cannot be called directly; "
+            "use .remote(...)"
+        )
+
+    def __repr__(self) -> str:
+        return f"<RemoteFunction {self._name} {self._options}>"
+
+
+def _reject_nested_refs(args: Sequence[Any]) -> None:
+    """Only top-level arguments may be ObjectRefs (as in the listings);
+    refs buried inside containers would silently pass without resolution,
+    so they are rejected loudly."""
+    for arg in args:
+        if isinstance(arg, ObjectRef):
+            continue
+        if isinstance(arg, (list, tuple, set)):
+            if any(isinstance(item, ObjectRef) for item in arg):
+                raise TypeError(
+                    "ObjectRef nested inside a container argument; pass refs "
+                    "as top-level arguments (e.g. fn.remote(*refs))"
+                )
+        elif isinstance(arg, dict):
+            if any(
+                isinstance(x, ObjectRef) for kv in arg.items() for x in kv
+            ):
+                raise TypeError(
+                    "ObjectRef nested inside a dict argument; pass refs as "
+                    "top-level arguments"
+                )

@@ -1,0 +1,606 @@
+"""The distributed-futures runtime: Ray-as-the-paper-describes-it.
+
+:class:`Runtime` wires the pieces together: one :class:`NodeManager` per
+cluster node (object store + spill manager + executors), the global object
+directory, the scheduler, lineage-based reconstruction, and the driver
+host.  Its public surface is the Ray-style API used throughout the paper's
+listings:
+
+- ``runtime.remote(fn, **options)`` / ``fn.options(...)`` / ``.remote()``
+- ``runtime.get(refs)``, ``runtime.wait(refs, ...)``, ``runtime.put(v)``
+- ``runtime.run(driver_fn)`` to execute a blocking driver program
+- ``runtime.free(refs)`` for eager eviction (the ``del`` in Listing 3)
+
+Fault tolerance follows §4.2.3: the driver-side lineage (all task specs)
+is replayed to reconstruct lost objects; executor failures lose no objects
+because stores belong to node managers, and node failures trigger
+re-execution after a detection delay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.fabric import Cluster
+from repro.cluster.node import Node
+from repro.cluster.specs import ClusterSpec, NodeSpec
+from repro.common.errors import ObjectLostError
+from repro.common.ids import IdGenerator, NodeId, ObjectId, TaskId
+from repro.futures.config import RuntimeConfig
+from repro.futures.directory import ObjectDirectory
+from repro.futures.driver import DriverHost
+from repro.futures.node_manager import NodeManager
+from repro.futures.refs import ObjectRef, make_ref
+from repro.futures.remote import RemoteFunction
+from repro.futures.scheduler import Scheduler
+from repro.futures.sizing import size_of
+from repro.futures.task import (
+    Arg,
+    PlainArg,
+    RefArg,
+    TaskOptions,
+    TaskPhase,
+    TaskRecord,
+    TaskSpec,
+)
+from repro.metrics.core import Counters
+from repro.simcore import Environment, Event
+
+
+class Runtime:
+    """A simulated Ray cluster plus the driver-facing API."""
+
+    def __init__(
+        self,
+        cluster: Union[Cluster, ClusterSpec],
+        config: Optional[RuntimeConfig] = None,
+        env: Optional[Environment] = None,
+    ) -> None:
+        self.env = env or Environment()
+        if isinstance(cluster, ClusterSpec):
+            cluster = Cluster(self.env, cluster)
+        elif cluster.env is not self.env:
+            raise ValueError("cluster and runtime must share an Environment")
+        self.cluster = cluster
+        self.config = config or RuntimeConfig()
+        self.ids: IdGenerator = cluster.ids
+        self.counters = Counters()
+        self.payloads: Dict[ObjectId, Any] = {}
+        self.directory = ObjectDirectory(on_refcount_zero=self._evict_object)
+        self.tasks: Dict[TaskId, TaskRecord] = {}
+        self._object_creator: Dict[ObjectId, TaskId] = {}
+        #: Objects that submitted-but-unfinished tasks will consume.  The
+        #: spill managers treat these as spill-of-last-resort: spilling a
+        #: block a pending consumer is about to read forces an immediate
+        #: restore (write + read for nothing).
+        self._pending_consumers: Dict[ObjectId, int] = {}
+        self.node_managers: Dict[NodeId, NodeManager] = {}
+        for node in cluster:
+            manager = NodeManager(self, node)
+            self.node_managers[node.node_id] = manager
+            node.on_death(self._on_node_death)
+        self.scheduler = Scheduler(self)
+        self.driver_node_id: NodeId = cluster.node_ids[0]
+        self._driver = DriverHost(self.env)
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        node_spec: NodeSpec,
+        num_nodes: int,
+        config: Optional[RuntimeConfig] = None,
+    ) -> "Runtime":
+        """A homogeneous cluster runtime in one call."""
+        env = Environment()
+        cluster = Cluster.homogeneous(env, node_spec, num_nodes)
+        return cls(cluster, config=config, env=env)
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    @property
+    def driver_manager(self) -> NodeManager:
+        return self.node_managers[self.driver_node_id]
+
+    # -- remote functions ---------------------------------------------------
+    def remote(self, fn: Any = None, **options: Any) -> Any:
+        """Declare a remote function; usable as a decorator.
+
+        ``rt.remote(fn)`` or ``@rt.remote(num_returns=4, compute=1.5)``.
+        """
+        if fn is None:
+            task_options = TaskOptions(**options)
+
+            def decorate(inner_fn: Any) -> RemoteFunction:
+                return RemoteFunction(self, inner_fn, task_options)
+
+            return decorate
+        return RemoteFunction(self, fn, TaskOptions(**options))
+
+    def actor(self, cls: Any, **options: Any) -> Any:
+        """Declare an actor class (Listing 2's ``trainer`` pattern).
+
+        ``rt.actor(Trainer).options(node=n).remote(args)`` returns a
+        handle whose method calls are tasks serialised on the actor.
+        """
+        from repro.futures.actor import ActorClass
+
+        return ActorClass(self, cls, TaskOptions(**options))
+
+    # -- submission (driver-side, non-blocking) -----------------------------
+    def submit_task(
+        self,
+        fn: Any,
+        args: Sequence[Any],
+        options: TaskOptions,
+        fn_name: str,
+        is_generator: bool,
+    ) -> List[ObjectRef]:
+        """Create and schedule one task (the ``.remote()`` entry point);
+        returns one ref per declared return."""
+        task_id = self.ids.next_task_id()
+        return_ids = tuple(
+            self.ids.next_object_id() for _ in range(options.num_returns)
+        )
+        arg_descs: List[Arg] = []
+        held_refs: List[ObjectRef] = []
+        for arg in args:
+            if isinstance(arg, ObjectRef):
+                if arg.object_id not in self.directory:
+                    raise ObjectLostError(arg.object_id, "argument already freed")
+                arg_descs.append(RefArg(arg.object_id))
+                held_refs.append(make_ref(self, arg.object_id))
+            else:
+                arg_descs.append(PlainArg(arg))
+        spec = TaskSpec(
+            task_id=task_id,
+            fn=fn,
+            fn_name=fn_name,
+            args=tuple(arg_descs),
+            options=options,
+            return_ids=return_ids,
+            is_generator=is_generator,
+        )
+        record = TaskRecord(spec, held_refs=held_refs, submitted_at=self.env.now)
+        self.tasks[task_id] = record
+        for oid in return_ids:
+            self.directory.register(oid, creator=task_id)
+            self._object_creator[oid] = task_id
+        refs = [make_ref(self, oid) for oid in return_ids]
+        self.counters.add("tasks_submitted", 1)
+        self._schedule_when_ready(record)
+        return refs
+
+    def has_pending_consumer(self, object_id: ObjectId) -> bool:
+        """True if a submitted-but-unfinished task will consume this object
+        (spill managers treat such objects as last-resort victims)."""
+        return self._pending_consumers.get(object_id, 0) > 0
+
+    def _count_consumers(self, record: TaskRecord, delta: int) -> None:
+        for oid in record.spec.dependency_ids:
+            count = self._pending_consumers.get(oid, 0) + delta
+            if count > 0:
+                self._pending_consumers[oid] = count
+            else:
+                self._pending_consumers.pop(oid, None)
+
+    def _schedule_when_ready(self, record: TaskRecord) -> None:
+        """Dispatch once every dependency object is created."""
+        if not record.counted:
+            record.counted = True
+            self._count_consumers(record, +1)
+        record.phase = TaskPhase.WAITING_DEPS
+        deps = list(dict.fromkeys(record.spec.dependency_ids))
+        pending = [oid for oid in deps if not self.directory.is_created(oid)]
+        record.pending_deps = len(pending)
+        if record.pending_deps == 0:
+            self._dispatch(record)
+            return
+
+        def on_dep_ready(_oid: ObjectId, error: Optional[BaseException]) -> None:
+            if record.phase is not TaskPhase.WAITING_DEPS:
+                return
+            if error is not None:
+                self.task_failed(record, error)
+                return
+            record.pending_deps -= 1
+            if record.pending_deps == 0:
+                self._dispatch(record)
+
+        for oid in pending:
+            self.directory.on_ready(oid, on_dep_ready)
+
+    def _dispatch(self, record: TaskRecord) -> None:
+        node_id = self.scheduler.place(record)
+        self.node_managers[node_id].submit(record)
+
+    # -- task completion callbacks (from NodeManager) -------------------------
+    def task_finished(self, record: TaskRecord) -> None:
+        """NodeManager callback: release the finished task's argument refs."""
+        if record.counted:
+            record.counted = False
+            self._count_consumers(record, -1)
+        for ref in record.held_refs:
+            ref.release()
+        record.held_refs = []
+
+    def task_failed(self, record: TaskRecord, error: BaseException) -> None:
+        """NodeManager callback: mark returns failed, release arguments."""
+        record.phase = TaskPhase.FAILED
+        record.finished_at = self.env.now
+        if record.counted:
+            record.counted = False
+            self._count_consumers(record, -1)
+        self.counters.add("tasks_failed", 1)
+        for oid in record.spec.return_ids:
+            self.directory.mark_failed(oid, error)
+        for ref in record.held_refs:
+            ref.release()
+        record.held_refs = []
+
+    # -- reference counting & eviction -----------------------------------------
+    def incref(self, object_id: ObjectId) -> None:
+        """Add one reference to an object (used by ObjectRef creation)."""
+        self.directory.incref(object_id)
+
+    def decref(self, object_id: ObjectId) -> None:
+        """Drop one reference; at zero the object is evicted everywhere."""
+        self.directory.decref(object_id)
+
+    def free(self, refs: Sequence[ObjectRef]) -> None:
+        """Eagerly release references (equivalent to ``del`` in Listing 3)."""
+        for ref in refs:
+            ref.release()
+
+    def retain_until(
+        self, refs: Sequence[ObjectRef], until: Sequence[ObjectRef]
+    ) -> None:
+        """Keep ``refs`` alive until every object in ``until`` is created.
+
+        This is how a shuffle library keeps intermediate blocks around for
+        recovery durability (ES-push, §4.3.1) without blocking: the extra
+        references die as soon as the downstream results exist.
+        """
+        holder = [make_ref(self, ref.object_id) for ref in refs]
+        remaining = {"count": len(until)}
+        if remaining["count"] == 0:
+            for held in holder:
+                held.release()
+            return
+
+        def on_ready(_oid: ObjectId, _error: Optional[BaseException]) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                for held in holder:
+                    held.release()
+
+        for ref in until:
+            self.directory.on_ready(ref.object_id, on_ready)
+
+    def _evict_object(self, object_id: ObjectId) -> None:
+        record = self.directory.maybe_get(object_id)
+        if record is None:
+            return
+        for node_id in list(record.memory_nodes):
+            manager = self.node_managers.get(node_id)
+            if manager is not None:
+                manager.store.free(object_id)
+            record.memory_nodes.discard(node_id)
+        for node_id in list(record.spill_nodes):
+            manager = self.node_managers.get(node_id)
+            if manager is not None:
+                manager.spill.forget(object_id)
+        self.payloads.pop(object_id, None)
+        self.directory.drop(object_id)
+        self.counters.add("objects_evicted", 1)
+
+    def maybe_drop_payload(self, object_id: ObjectId) -> None:
+        """Drop the Python payload if no copy survives anywhere."""
+        if not self.directory.is_available(object_id):
+            self.payloads.pop(object_id, None)
+
+    # -- fault tolerance -----------------------------------------------------
+    def _on_node_death(self, node: Node) -> None:
+        manager = self.node_managers[node.node_id]
+        casualties = manager.kill()
+        lost_objects = self.directory_objects_on(node.node_id)
+        self.counters.add("node_failures", 1)
+        self.env.call_later(
+            self.config.failure_detection_s,
+            lambda: self._after_failure_detected(node, casualties, lost_objects),
+        )
+
+    def directory_objects_on(self, node_id: NodeId) -> List[ObjectId]:
+        """Objects the directory currently places (in any form) on a node."""
+        found = []
+        for oid in list(self.payloads):
+            record = self.directory.maybe_get(oid)
+            if record is None:
+                continue
+            if node_id in record.memory_nodes or node_id in record.spill_nodes:
+                found.append(oid)
+        return found
+
+    def _after_failure_detected(
+        self,
+        node: Node,
+        casualties: List[TaskRecord],
+        lost_objects: List[ObjectId],
+    ) -> None:
+        """Heartbeat timeout elapsed: clean metadata and re-execute."""
+        for oid in lost_objects:
+            self.directory.remove_memory_location(oid, node.node_id)
+            self.directory.remove_spill_location(oid, node.node_id)
+            self.maybe_drop_payload(oid)
+        for record in casualties:
+            if record.phase in (TaskPhase.FINISHED, TaskPhase.FAILED):
+                continue
+            self._resubmit(record)
+
+    def resubmit_task(self, record: TaskRecord) -> None:
+        """Public entry for re-executing an interrupted task (used by
+        executor-failure handling; node failures go through the
+        detection path)."""
+        self._resubmit(record)
+
+    def _resubmit(self, record: TaskRecord) -> None:
+        """Re-execute a task (lineage reconstruction, §4.2.3)."""
+        spec = record.spec
+        self.counters.add("tasks_resubmitted", 1)
+        for oid in spec.return_ids:
+            dep_record = self.directory.maybe_get(oid)
+            if dep_record is not None and not dep_record.available:
+                self.directory.mark_uncreated(oid)
+        held: List[ObjectRef] = []
+        for dep in dict.fromkeys(spec.dependency_ids):
+            if dep not in self.directory:
+                self.directory.register(dep, creator=self._object_creator.get(dep))
+            held.append(make_ref(self, dep))
+            if not self.directory.is_available(dep):
+                # Recursively arrange for the dependency to exist again.
+                self.ensure_available(dep)
+        record.held_refs = held
+        self._schedule_when_ready(record)
+
+    def ensure_available(self, object_id: ObjectId) -> Event:
+        """An event that fires once the object has a live copy somewhere.
+
+        Triggers lineage reconstruction for lost objects.  Fails with
+        :class:`ObjectLostError` when reconstruction is impossible
+        (``put()`` objects, truncated lineage, reconstruction disabled) or
+        with the creating task's error if it failed.
+        """
+        event = self.env.event()
+        record = self.directory.maybe_get(object_id)
+        if record is None:
+            return event.fail(ObjectLostError(object_id, "freed"))
+        if record.error is not None:
+            return event.fail(record.error)
+        if record.available:
+            return event.succeed()
+        creator_id = record.creator
+        creator = self.tasks.get(creator_id) if creator_id is not None else None
+        if creator is None:
+            # put() objects and truncated lineage are unrecoverable.
+            return event.fail(ObjectLostError(object_id, "no creating task"))
+        if creator.phase in (TaskPhase.FINISHED, TaskPhase.FAILED):
+            # The creator ran to completion but no copy survives -- either
+            # the object was lost to a failure, or its record was dropped
+            # (freed) and has been re-registered by a recovering consumer.
+            # Either way the creator must run again.
+            if not self.config.enable_lineage_reconstruction:
+                return event.fail(ObjectLostError(object_id, "unreconstructable"))
+            self.directory.mark_uncreated(object_id)
+            self._resubmit(creator)
+        # else: the creating task is in flight; its completion will fire.
+
+        def on_ready(_oid: ObjectId, error: Optional[BaseException]) -> None:
+            if event.triggered:
+                return
+            if error is not None:
+                event.fail(error)
+            else:
+                event.succeed()
+
+        self.directory.on_ready(object_id, on_ready)
+        return event
+
+    # -- driver-facing blocking API ------------------------------------------
+    def run(self, fn: Any, *args: Any, **kwargs: Any) -> Any:
+        """Execute ``fn`` as the driver program; returns its result.
+
+        Simulated time advances while the driver blocks; ``runtime.now``
+        after ``run`` returns is the job completion time.
+        """
+        return self._driver.run(fn, *args, **kwargs)
+
+    def get(self, refs: Union[ObjectRef, Sequence[ObjectRef]]) -> Any:
+        """Fetch object values to the driver (blocking)."""
+        single = isinstance(refs, ObjectRef)
+        ref_list = [refs] if single else list(refs)
+        for ref in ref_list:
+            if not isinstance(ref, ObjectRef):
+                raise TypeError(f"get expects ObjectRefs, got {type(ref).__name__}")
+        proc = self.env.process(
+            self._get_proc([ref.object_id for ref in ref_list]), name="driver-get"
+        )
+        values = self._driver.block_on(proc)
+        return values[0] if single else values
+
+    def _get_proc(self, object_ids: List[ObjectId]) -> Iterator[Event]:
+        manager = self.driver_manager
+        values: List[Any] = []
+        for oid in object_ids:
+            yield self.ensure_available(oid)
+            state = yield from manager.ensure_local(oid)
+            if state == "memory":
+                manager.store.unpin(oid)
+            else:
+                # Resident only on the driver node's disk: stream it in.
+                yield manager.spill.restore_read(oid)
+            values.append(self.payloads[oid])
+        return values
+
+    def wait(
+        self,
+        refs: Sequence[ObjectRef],
+        num_returns: int = 1,
+        timeout: Optional[float] = None,
+    ) -> Tuple[List[ObjectRef], List[ObjectRef]]:
+        """Block until ``num_returns`` of ``refs`` are computed (§3.1).
+
+        Returns ``(ready, not_ready)`` preserving input order.  Objects
+        whose task failed count as ready (their ``get`` raises), matching
+        Ray.  Does not fetch values -- this is the pipelining/backpressure
+        primitive of Listing 3 L22.
+        """
+        ref_list = list(refs)
+        if not 1 <= num_returns <= len(ref_list):
+            raise ValueError(
+                f"num_returns={num_returns} out of range for {len(ref_list)} refs"
+            )
+        done = self.env.event()
+        state = {"ready": 0}
+
+        def on_ready(_oid: ObjectId, _error: Optional[BaseException]) -> None:
+            state["ready"] += 1
+            if state["ready"] >= num_returns and not done.triggered:
+                done.succeed()
+
+        for ref in ref_list:
+            if ref.object_id in self.directory:
+                self.directory.on_ready(ref.object_id, on_ready)
+            else:
+                on_ready(ref.object_id, None)
+        if not done.triggered and timeout is not None:
+            wake: Event = self.env.any_of([done, self.env.timeout(timeout)])
+        else:
+            wake = done
+        self._driver.block_on(wake)
+        ready, not_ready = [], []
+        for ref in ref_list:
+            record = self.directory.maybe_get(ref.object_id)
+            is_ready = (
+                record is None or record.created or record.error is not None
+            )
+            (ready if is_ready else not_ready).append(ref)
+        return ready, not_ready
+
+    def put(self, value: Any) -> ObjectRef:
+        """Store a driver-local value in the object store (blocking)."""
+        object_id = self.ids.next_object_id()
+        self.directory.register(object_id, creator=None)
+        ref = make_ref(self, object_id)
+        proc = self.env.process(self._put_proc(object_id, value), name="driver-put")
+        self._driver.block_on(proc)
+        return ref
+
+    def _put_proc(self, object_id: ObjectId, value: Any) -> Iterator[Event]:
+        manager = self.driver_manager
+        size = size_of(value)
+        self.payloads[object_id] = value
+        allocation = manager.store.allocate(object_id, size, primary=True)
+        placement = yield allocation
+        if placement == "memory":
+            self.directory.add_memory_location(object_id, manager.node_id)
+        self.directory.mark_created(object_id, size)
+
+    def replicate(self, refs: Sequence[ObjectRef], copies: int = 2) -> None:
+        """Ensure each object has at least ``copies`` durable copies on
+        distinct alive nodes (blocking; driver-side).
+
+        This is the §4.2.3 replica-tuning knob the paper sketches as
+        future work: the application chooses extra redundancy for blocks
+        it cannot afford to reconstruct.  Replicas are *primary* entries
+        on their nodes, so memory pressure spills them instead of
+        dropping them.
+        """
+        if copies < 1:
+            raise ValueError("need at least one copy")
+        proc = self.env.process(
+            self._replicate_proc([ref.object_id for ref in refs], copies),
+            name="driver-replicate",
+        )
+        self._driver.block_on(proc)
+
+    def _replicate_proc(
+        self, object_ids: List[ObjectId], copies: int
+    ) -> Iterator[Event]:
+        for oid in object_ids:
+            yield self.ensure_available(oid)
+            record = self.directory.maybe_get(oid)
+            if record is None:
+                continue
+            existing = {
+                nid
+                for nid in self.directory.locations(oid)
+                if self.node_managers[nid].node.alive
+            }
+            targets = [
+                nid
+                for nid in sorted(self.node_managers)
+                if nid not in existing and self.node_managers[nid].node.alive
+            ]
+            for nid in targets[: max(0, copies - len(existing))]:
+                manager = self.node_managers[nid]
+                state = yield from manager.ensure_local(oid)
+                # Promote the copy to primary: it now spills under
+                # pressure rather than being dropped.
+                manager.store.try_allocate(oid, record.size, primary=True)
+                if state == "memory":
+                    manager.store.unpin(oid)
+                self.counters.add("replicas_created", 1)
+
+    def peek(self, ref: ObjectRef) -> Any:
+        """Read an object's payload *without* simulating any I/O.
+
+        For offline validation and metrics only (e.g. checking a finished
+        sort's output) -- using it inside a workload would bypass the data
+        plane the reproduction is measuring.
+        """
+        if ref.object_id not in self.payloads:
+            raise ObjectLostError(ref.object_id, "no payload to peek at")
+        return self.payloads[ref.object_id]
+
+    def sleep(self, seconds: float) -> None:
+        """Advance simulated time from the driver (like ``time.sleep``)."""
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._driver.block_on(self.env.timeout(seconds))
+
+    def timestamp(self) -> float:
+        """Current simulated time (driver-side convenience)."""
+        return self.env.now
+
+    # -- introspection (§4.3.1 "runtime introspection") -----------------------
+    def locations_of(self, ref: ObjectRef) -> List[NodeId]:
+        """Where an object currently lives (memory or disk)."""
+        record = self.directory.maybe_get(ref.object_id)
+        if record is None or not record.created:
+            return []
+        return sorted(set(record.memory_nodes) | set(record.spill_nodes))
+
+    def object_size(self, ref: ObjectRef) -> int:
+        """Size in bytes of a created object (0 if not yet created)."""
+        record = self.directory.maybe_get(ref.object_id)
+        return record.size if record is not None and record.created else 0
+
+    def task_attempts(self, ref: ObjectRef) -> int:
+        """How many times the creating task of ``ref`` has executed."""
+        creator_id = self._object_creator.get(ref.object_id)
+        if creator_id is None:
+            return 0
+        return self.tasks[creator_id].spec.attempts
+
+    def stats(self) -> Dict[str, Any]:
+        """A summary snapshot for benchmarks and EXPERIMENTS.md tables."""
+        snapshot = dict(self.counters.as_dict())
+        snapshot["time"] = self.env.now
+        snapshot["network_bytes"] = self.cluster.network_bytes_sent
+        snapshot["store_peak_bytes"] = sum(
+            manager.store.peak_used_bytes
+            for manager in self.node_managers.values()
+        )
+        return snapshot

@@ -1,0 +1,92 @@
+"""Global task placement (§4.3.2).
+
+Ray's two-level scheduler balances bin-packing against load-balancing; for
+shuffle what matters is (a) honouring the library's *soft node-affinity*
+hints (merge tasks pinned near their future reduce tasks), (b) data
+locality (run a task where most of its argument bytes already live), and
+(c) spreading everything else across alive nodes by load.
+
+Placement happens when a task's dependencies are all created, so locality
+information is fresh.  Affinity is soft: if the hinted node is dead, the
+task falls through to the normal policy -- this is what lets shuffles
+survive node failures without library-level handling.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.common.errors import SchedulingError
+from repro.common.ids import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.futures.runtime import Runtime
+    from repro.futures.task import TaskRecord
+
+
+class Scheduler:
+    """Places dependency-ready tasks onto alive nodes."""
+
+    def __init__(self, runtime: "Runtime") -> None:
+        self.runtime = runtime
+
+    def place(self, record: "TaskRecord") -> NodeId:
+        """Choose a node for ``record``; raises if the cluster is empty."""
+        runtime = self.runtime
+        alive = {
+            node_id: manager
+            for node_id, manager in runtime.node_managers.items()
+            if manager.node.alive
+        }
+        if not alive:
+            raise SchedulingError("no alive nodes to schedule on")
+
+        options = record.spec.options
+        if runtime.config.enable_node_affinity and options.node is not None:
+            if options.node in alive:
+                return options.node
+            # Soft affinity: the hinted node is down, fall through.
+
+        if runtime.config.enable_locality_scheduling:
+            best = self._locality_choice(record, alive)
+            if best is not None:
+                return best
+
+        return self._least_loaded(alive)
+
+    # -- policies ------------------------------------------------------------
+    def _locality_choice(
+        self, record: "TaskRecord", alive: Dict[NodeId, object]
+    ) -> Optional[NodeId]:
+        """Node holding the most argument bytes, if any node holds any."""
+        directory = self.runtime.directory
+        bytes_by_node: Dict[NodeId, int] = defaultdict(int)
+        for dep in record.spec.dependency_ids:
+            dep_record = directory.maybe_get(dep)
+            if dep_record is None:
+                continue
+            for node_id in dep_record.memory_nodes:
+                if node_id in alive:
+                    bytes_by_node[node_id] += dep_record.size
+            for node_id in dep_record.spill_nodes:
+                if node_id in alive:
+                    bytes_by_node[node_id] += dep_record.size
+        if not bytes_by_node:
+            return None
+        # Max bytes; break ties by load then node id for determinism.
+        return min(
+            bytes_by_node,
+            key=lambda nid: (
+                -bytes_by_node[nid],
+                self._load(alive[nid]),
+                nid,
+            ),
+        )
+
+    def _least_loaded(self, alive: Dict[NodeId, object]) -> NodeId:
+        return min(alive, key=lambda nid: (self._load(alive[nid]), nid))
+
+    @staticmethod
+    def _load(manager: object) -> float:
+        return manager.pending_tasks / manager.node.spec.cores  # type: ignore[attr-defined]

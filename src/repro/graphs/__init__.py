@@ -1,0 +1,11 @@
+"""Dask-style task graphs executed on the distributed-futures backend.
+
+§5.3.1 runs "the same Dask task graph on Dask and Ray backends" -- the
+scheduler-level portability that made Dask-on-Ray possible.  This package
+provides that interface: a plain-dict task graph (key -> spec) compiled
+onto :class:`repro.futures.Runtime`, dependencies becoming object refs.
+"""
+
+from repro.graphs.graph import GraphError, TaskGraph, execute_graph
+
+__all__ = ["TaskGraph", "execute_graph", "GraphError"]

@@ -1,0 +1,132 @@
+"""Task-graph representation and compilation to distributed futures.
+
+The graph format follows Dask's convention: a dict mapping each key to
+either a literal value or a tuple ``(callable, arg, arg, ...)`` where an
+arg that is itself a graph key denotes a dependency.
+
+    graph = TaskGraph({
+        "a": 1,
+        "b": (inc, "a"),
+        "c": (add, "a", "b"),
+    })
+    value = execute_graph(rt, graph, "c")     # inside rt.run
+
+Compilation walks the graph in topological order, submitting one task per
+tuple node with dependency keys replaced by the producing tasks' object
+refs -- after which scheduling, data movement, spilling, and recovery are
+all the data plane's problem, exactly the division of labour the paper
+advocates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Set, Tuple, Union
+
+from repro.futures import ObjectRef, Runtime
+
+GraphValue = Union[Any, Tuple]
+
+
+class GraphError(ValueError):
+    """Malformed graph: unknown key, cycle, or bad node."""
+
+
+class TaskGraph:
+    """An immutable snapshot of a Dask-style graph dict."""
+
+    def __init__(self, nodes: Dict[str, GraphValue]) -> None:
+        if not nodes:
+            raise GraphError("empty graph")
+        self.nodes = dict(nodes)
+        self._order = self._topological_order()
+
+    # -- structure -----------------------------------------------------------
+    @staticmethod
+    def _is_task(node: GraphValue) -> bool:
+        return isinstance(node, tuple) and len(node) > 0 and callable(node[0])
+
+    def dependencies(self, key: str) -> List[str]:
+        """Graph keys this node's task consumes."""
+        node = self.nodes[key]
+        if not self._is_task(node):
+            return []
+        return [arg for arg in node[1:] if isinstance(arg, str) and arg in self.nodes]
+
+    def _topological_order(self) -> List[str]:
+        state: Dict[str, int] = {}  # 0 visiting, 1 done
+        order: List[str] = []
+
+        def visit(key: str, stack: Set[str]) -> None:
+            if state.get(key) == 1:
+                return
+            if key in stack:
+                raise GraphError(f"cycle through {key!r}")
+            stack.add(key)
+            for dep in self.dependencies(key):
+                visit(dep, stack)
+            stack.discard(key)
+            state[key] = 1
+            order.append(key)
+
+        for key in self.nodes:
+            visit(key, set())
+        return order
+
+    @property
+    def order(self) -> List[str]:
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- compilation -------------------------------------------------------
+    def submit(self, rt: Runtime) -> Dict[str, ObjectRef]:
+        """Submit every task node; returns key -> ref (non-blocking).
+
+        Literal nodes are passed by value into their consumers (and
+        ``put`` into the store only if requested as targets).
+        """
+        refs: Dict[str, ObjectRef] = {}
+        literals: Dict[str, Any] = {}
+        for key in self._order:
+            node = self.nodes[key]
+            if not self._is_task(node):
+                literals[key] = node
+                continue
+            fn: Callable = node[0]
+            args = []
+            for arg in node[1:]:
+                if isinstance(arg, str) and arg in refs:
+                    args.append(refs[arg])
+                elif isinstance(arg, str) and arg in literals:
+                    args.append(literals[arg])
+                else:
+                    args.append(arg)
+            task = rt.remote(fn)
+            refs[key] = task.remote(*args)
+        # Materialise literal-only keys lazily on demand in execute_graph.
+        self._literals = literals
+        return refs
+
+
+def execute_graph(
+    rt: Runtime,
+    graph: Union[TaskGraph, Dict[str, GraphValue]],
+    targets: Union[str, Sequence[str]],
+) -> Any:
+    """Run the graph and fetch the target keys (blocking; driver-side)."""
+    if not isinstance(graph, TaskGraph):
+        graph = TaskGraph(graph)
+    single = isinstance(targets, str)
+    wanted = [targets] if single else list(targets)
+    for key in wanted:
+        if key not in graph.nodes:
+            raise GraphError(f"unknown target {key!r}")
+    refs = graph.submit(rt)
+    values = []
+    for key in wanted:
+        if key in refs:
+            values.append(rt.get(refs[key]))
+        else:
+            values.append(graph.nodes[key])
+    return values[0] if single else values

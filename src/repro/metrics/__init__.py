@@ -1,0 +1,20 @@
+"""Measurement: counters, time series, and experiment result tables."""
+
+from repro.metrics.core import Counters, TimeSeries
+from repro.metrics.tables import ResultTable
+from repro.metrics.timeline import (
+    chrome_trace_events,
+    export_chrome_trace,
+    phase_summary,
+    task_spans,
+)
+
+__all__ = [
+    "Counters",
+    "TimeSeries",
+    "ResultTable",
+    "task_spans",
+    "phase_summary",
+    "chrome_trace_events",
+    "export_chrome_trace",
+]

@@ -1,0 +1,87 @@
+"""Counters and time series collected during simulated runs.
+
+Every figure in the paper is either a bar of job-completion times, a line
+over simulated time, or a byte count; these two small classes cover all of
+them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Tuple
+
+
+class Counters:
+    """Named monotonic counters (bytes spilled, tasks executed, ...)."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment a counter."""
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value (0 for never-touched counters)."""
+        return self._values.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """A snapshot copy of all counters."""
+        return dict(self._values)
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. reduce-progress for Fig 5."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; time must not go backwards."""
+        if self._samples and time < self._samples[-1][0]:
+            raise ValueError("time series samples must be non-decreasing in time")
+        self._samples.append((time, value))
+
+    @property
+    def samples(self) -> List[Tuple[float, float]]:
+        return list(self._samples)
+
+    @property
+    def times(self) -> List[float]:
+        return [t for t, _ in self._samples]
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _, v in self._samples]
+
+    def value_at(self, time: float) -> float:
+        """Step-function lookup: latest sample at or before ``time``."""
+        if not self._samples or time < self._samples[0][0]:
+            raise ValueError(f"no sample at or before t={time}")
+        result = self._samples[0][1]
+        for t, v in self._samples:
+            if t > time:
+                break
+            result = v
+        return result
+
+    def first_time_reaching(self, threshold: float) -> float:
+        """Earliest sample time with value >= threshold (inf if never)."""
+        for t, v in self._samples:
+            if v >= threshold:
+                return t
+        return float("inf")
+
+    def __len__(self) -> int:
+        return len(self._samples)

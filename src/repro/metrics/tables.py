@@ -1,0 +1,64 @@
+"""Result tables: the rows the benchmark harness prints per figure."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class ResultTable:
+    """An ordered table of result rows with aligned text rendering.
+
+    Benchmarks accumulate one row per (variant, parameter) combination and
+    render the table in the same orientation as the paper's figure, so the
+    reproduction can be compared to the original at a glance.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[Dict[str, Any]] = []
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row (column subsets allowed)."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ValueError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def find(self, **criteria: Any) -> Optional[Dict[str, Any]]:
+        """First row matching all the given column values."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                return row
+        return None
+
+    def render(self) -> str:
+        """Fixed-width text rendering, with a title rule."""
+
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        cells = [[fmt(row.get(col)) for col in self.columns] for row in self.rows]
+        widths = [
+            max(len(col), *(len(line[i]) for line in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        header = "  ".join(col.ljust(w) for col, w in zip(self.columns, widths))
+        rule = "-" * len(header)
+        lines = [self.title, "=" * len(self.title), header, rule]
+        for line in cells:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)

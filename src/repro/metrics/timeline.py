@@ -1,0 +1,121 @@
+"""Execution timelines: phase summaries and Chrome-trace export.
+
+Reconstructs what ran where and when from the runtime's task records --
+the observability layer a real deployment gets from Ray's timeline tool.
+``export_chrome_trace`` writes the standard ``chrome://tracing`` /
+Perfetto JSON so a simulated run can be inspected visually.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.metrics.tables import ResultTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.futures.runtime import Runtime
+
+
+def task_spans(runtime: "Runtime") -> List[Dict[str, Any]]:
+    """One record per executed task: name, node, start, end, queue delay."""
+    spans = []
+    for record in runtime.tasks.values():
+        if record.finished_at is None or record.started_at is None:
+            continue
+        spans.append(
+            {
+                "name": record.spec.fn_name,
+                "task_id": str(record.spec.task_id),
+                "node": str(record.assigned_node),
+                "start": record.started_at,
+                "end": record.finished_at,
+                "queue_delay": record.started_at - record.submitted_at,
+                "attempts": record.spec.attempts,
+            }
+        )
+    spans.sort(key=lambda s: (s["start"], s["task_id"]))
+    return spans
+
+
+def phase_summary(runtime: "Runtime") -> ResultTable:
+    """Per-function aggregates: count, span, busy core-seconds, mean wait."""
+    grouped: Dict[str, List[Dict[str, Any]]] = defaultdict(list)
+    for span in task_spans(runtime):
+        grouped[span["name"]].append(span)
+    table = ResultTable(
+        "Task phase summary",
+        ["phase", "tasks", "first_start", "last_end", "busy_core_s", "mean_queue_s"],
+    )
+    for name in sorted(grouped):
+        spans = grouped[name]
+        table.add_row(
+            phase=name,
+            tasks=len(spans),
+            first_start=min(s["start"] for s in spans),
+            last_end=max(s["end"] for s in spans),
+            busy_core_s=sum(s["end"] - s["start"] for s in spans),
+            mean_queue_s=sum(s["queue_delay"] for s in spans) / len(spans),
+        )
+    return table
+
+
+def _assign_lanes(spans: List[Dict[str, Any]]) -> List[int]:
+    """Pack overlapping spans into the fewest display lanes (greedy)."""
+    lane_free_at: List[float] = []
+    lanes: List[int] = []
+    for span in spans:
+        for lane, free_at in enumerate(lane_free_at):
+            if span["start"] >= free_at - 1e-12:
+                lane_free_at[lane] = span["end"]
+                lanes.append(lane)
+                break
+        else:
+            lane_free_at.append(span["end"])
+            lanes.append(len(lane_free_at) - 1)
+    return lanes
+
+
+def chrome_trace_events(runtime: "Runtime") -> List[Dict[str, Any]]:
+    """Complete-event ("ph": "X") list in Chrome trace format."""
+    by_node: Dict[str, List[Dict[str, Any]]] = defaultdict(list)
+    for span in task_spans(runtime):
+        by_node[span["node"]].append(span)
+    events: List[Dict[str, Any]] = []
+    for pid, (node, spans) in enumerate(sorted(by_node.items())):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": f"node {node}"},
+            }
+        )
+        lanes = _assign_lanes(spans)
+        for span, lane in zip(spans, lanes):
+            events.append(
+                {
+                    "name": span["name"],
+                    "cat": "task",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": lane,
+                    "ts": span["start"] * 1e6,  # microseconds
+                    "dur": (span["end"] - span["start"]) * 1e6,
+                    "args": {
+                        "task_id": span["task_id"],
+                        "queue_delay_s": span["queue_delay"],
+                        "attempts": span["attempts"],
+                    },
+                }
+            )
+    return events
+
+
+def export_chrome_trace(runtime: "Runtime", path: str) -> int:
+    """Write the trace JSON; returns the number of task events."""
+    events = chrome_trace_events(runtime)
+    Path(path).write_text(json.dumps({"traceEvents": events}))
+    return sum(1 for e in events if e.get("ph") == "X")

@@ -1,0 +1,39 @@
+"""Distributed ML training with pipelined shuffle (§3.2.2, §5.2.2).
+
+The paper trains TabNet on HIGGS with Ludwig; the reproduction trains a
+numpy SGD classifier on a synthetic HIGGS-like dataset whose on-disk
+ordering is adversarial (label-clustered), so per-epoch shuffle quality
+visibly affects convergence.  Three loading strategies are compared:
+
+- :class:`ExoshuffleLoader` -- full per-epoch distributed shuffle through
+  the shuffle library, consumed block-by-block with fine-grained
+  pipelining (Fig 2d-ii / Listing 2 ``model_training``).
+- the Petastorm-style windowed buffer loader
+  (:mod:`repro.baselines.petastorm`) -- sequential reads into a bounded
+  in-memory window, shuffled only within the window.
+- :class:`LocalBatchLoader` -- "partial shuffle": shuffling only within
+  each trainer's in-memory batches (the Fig 9 comparison).
+"""
+
+from repro.ml.dataset import SyntheticHiggs, TabularBlock
+from repro.ml.model import SGDClassifier
+from repro.ml.accelerator import AcceleratorSpec, T4_LIKE
+from repro.ml.loaders import ExoshuffleLoader, LocalBatchLoader
+from repro.ml.training import (
+    TrainingResult,
+    train_distributed,
+    train_single_node,
+)
+
+__all__ = [
+    "SyntheticHiggs",
+    "TabularBlock",
+    "SGDClassifier",
+    "AcceleratorSpec",
+    "T4_LIKE",
+    "ExoshuffleLoader",
+    "LocalBatchLoader",
+    "TrainingResult",
+    "train_single_node",
+    "train_distributed",
+]

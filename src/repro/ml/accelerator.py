@@ -1,0 +1,35 @@
+"""The modelled training accelerator.
+
+The GPU itself is not simulated as a device; a trainer charges
+``seconds_for(bytes)`` of simulated time per consumed block, which is how
+long the accelerator crunches it.  Loading is fast enough when the data
+plane keeps blocks arriving at or above this rate -- the pipelining
+experiments (Figs 8, 9) are about whether the loader can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import MB
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Training throughput of one accelerator."""
+
+    name: str
+    train_bytes_per_sec: float
+
+    def __post_init__(self) -> None:
+        if self.train_bytes_per_sec <= 0:
+            raise ValueError("accelerator throughput must be positive")
+
+    def seconds_for(self, nbytes: int) -> float:
+        """Simulated training time for ``nbytes`` of consumed data."""
+        return nbytes / self.train_bytes_per_sec
+
+
+#: Roughly a T4 running TabNet-scale tabular training: several hundred
+#: MB/s of consumed training data.
+T4_LIKE = AcceleratorSpec(name="t4-like", train_bytes_per_sec=600 * MB)

@@ -1,0 +1,185 @@
+"""Data loaders: how training blocks reach the trainer each epoch.
+
+:class:`ExoshuffleLoader` performs a *full* distributed random reshuffle
+per epoch through the shuffle library, returning refs immediately so the
+trainer pipelines consumption with the shuffle (Fig 2d, Listing 2).
+
+:class:`LocalBatchLoader` is the "partial shuffle" strategy of Fig 9: no
+data movement, each block's rows are permuted in place -- fully local and
+cheap, but inter-block order (and therefore batch composition) never
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.common.rng import derive_seed, seeded_rng
+from repro.futures import ObjectRef, Runtime
+from repro.ml.dataset import TabularBlock
+from repro.shuffle import simple_shuffle
+
+
+def stage_blocks(rt: Runtime, blocks: List[TabularBlock]) -> List[ObjectRef]:
+    """Place dataset blocks round-robin across the cluster (blocking;
+    call from a driver).  Staging stands in for the dataset already
+    sitting in distributed storage and is not part of epoch timings."""
+    from repro.shuffle.common import worker_nodes
+
+    nodes = worker_nodes(rt)
+    put_task = rt.remote(lambda block: block)
+    refs = [
+        put_task.options(node=nodes[i % len(nodes)]).remote(block)
+        for i, block in enumerate(blocks)
+    ]
+    rt.wait(refs, num_returns=len(refs))
+    return refs
+
+
+def make_shuffle_map(num_out: int, epoch_seed: int) -> Callable[[TabularBlock], List[TabularBlock]]:
+    """Map fn: scatter a block's rows uniformly over ``num_out`` outputs."""
+
+    def shuffle_map(block: TabularBlock) -> List[TabularBlock]:
+        rng = seeded_rng(epoch_seed, "scatter", block.index)
+        assignment = rng.integers(0, num_out, size=block.num_records)
+        return [
+            block.take(np.flatnonzero(assignment == r), index=r)
+            for r in range(num_out)
+        ]
+
+    return shuffle_map
+
+
+def make_shuffle_reduce(epoch_seed: int) -> Callable[..., TabularBlock]:
+    """Reduce fn: gather sub-blocks and permute rows within the output."""
+
+    def shuffle_reduce(*blocks: TabularBlock) -> TabularBlock:
+        merged = TabularBlock.concat(blocks, index=blocks[0].index)
+        rng = seeded_rng(epoch_seed, "permute", merged.index)
+        order = rng.permutation(merged.num_records)
+        return merged.take(order, index=merged.index)
+
+    return shuffle_reduce
+
+
+class ExoshuffleLoader:
+    """Per-epoch full random reshuffle, consumed block-by-block.
+
+    ``submit_epoch`` is non-blocking; the trainer calls it for epoch
+    ``e+1`` before consuming epoch ``e``'s refs, overlapping the next
+    shuffle with training exactly as Listing 2's ``model_training`` does.
+    """
+
+    def __init__(
+        self,
+        rt: Runtime,
+        partition_refs: List[ObjectRef],
+        num_blocks_out: Optional[int] = None,
+        seed: int = 0,
+        map_options: Optional[Dict[str, Any]] = None,
+        reduce_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not partition_refs:
+            raise ValueError("loader needs at least one partition")
+        self.rt = rt
+        self.partition_refs = list(partition_refs)
+        self.num_blocks_out = num_blocks_out or len(partition_refs)
+        self.seed = seed
+        self.map_options = map_options or {}
+        self.reduce_options = reduce_options or {}
+
+    def submit_epoch(self, epoch: int) -> List[ObjectRef]:
+        """Submit the shuffle DAG for one epoch; returns block refs."""
+        epoch_seed = derive_seed(self.seed, "epoch", epoch)
+        return simple_shuffle(
+            self.rt,
+            self.partition_refs,
+            make_shuffle_map(self.num_blocks_out, epoch_seed),
+            make_shuffle_reduce(epoch_seed),
+            self.num_blocks_out,
+            map_options=self.map_options,
+            reduce_options=self.reduce_options,
+        )
+
+
+class WindowedExoshuffleLoader:
+    """Shuffle in windows (Fig 2d-iii): each epoch reshuffles *groups* of
+    ``window_partitions`` partitions rather than the whole dataset.
+
+    Sits between the full reshuffle (best mixing, most data movement) and
+    the purely local permutation: a tunable performance/accuracy knob the
+    paper describes applications choosing per their needs.
+    """
+
+    def __init__(
+        self,
+        rt: Runtime,
+        partition_refs: List[ObjectRef],
+        window_partitions: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if not partition_refs:
+            raise ValueError("loader needs at least one partition")
+        if window_partitions < 1:
+            raise ValueError("window must be at least one partition")
+        self.rt = rt
+        self.partition_refs = list(partition_refs)
+        self.window_partitions = window_partitions
+        self.seed = seed
+
+    def submit_epoch(self, epoch: int) -> List[ObjectRef]:
+        """Submit the windowed shuffles for one epoch; returns block refs."""
+        epoch_seed = derive_seed(self.seed, "epoch", epoch)
+        refs: List[ObjectRef] = []
+        window = self.window_partitions
+        for start in range(0, len(self.partition_refs), window):
+            group = self.partition_refs[start : start + window]
+            refs.extend(
+                simple_shuffle(
+                    self.rt,
+                    group,
+                    make_shuffle_map(
+                        len(group), derive_seed(epoch_seed, "window", start)
+                    ),
+                    make_shuffle_reduce(
+                        derive_seed(epoch_seed, "window", start)
+                    ),
+                    len(group),
+                )
+            )
+        return refs
+
+
+class LocalBatchLoader:
+    """Partial shuffle: permute rows within each block, move nothing."""
+
+    def __init__(
+        self,
+        rt: Runtime,
+        partition_refs: List[ObjectRef],
+        seed: int = 0,
+    ) -> None:
+        if not partition_refs:
+            raise ValueError("loader needs at least one partition")
+        self.rt = rt
+        self.partition_refs = list(partition_refs)
+        self.seed = seed
+
+    def submit_epoch(self, epoch: int) -> List[ObjectRef]:
+        """Submit per-block permutations for one epoch (no data movement)."""
+        epoch_seed = derive_seed(self.seed, "epoch", epoch)
+
+        def permute(block: TabularBlock) -> TabularBlock:
+            rng = seeded_rng(epoch_seed, "local", block.index)
+            return block.take(
+                rng.permutation(block.num_records), index=block.index
+            )
+
+        # Permutation is in-place-cheap: charge only a memcpy-rate pass.
+        task = self.rt.remote(
+            permute,
+            compute=lambda ctx: ctx.output_bytes / 2e9,
+        )
+        return [task.remote(ref) for ref in self.partition_refs]

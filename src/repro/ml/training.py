@@ -1,0 +1,166 @@
+"""Training loops: single-node (Fig 8) and distributed (Fig 9).
+
+Timing and learning are both real: simulated time comes from the data
+plane (shuffle/decode tasks) plus the modelled accelerator, while the SGD
+updates run on actual numpy arrays, so accuracy curves genuinely depend
+on how well each loader shuffles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.ids import NodeId
+from repro.futures import ObjectRef, Runtime
+from repro.ml.accelerator import AcceleratorSpec, T4_LIKE
+from repro.ml.dataset import TabularBlock
+from repro.ml.model import SGDClassifier
+
+
+@dataclass
+class TrainingResult:
+    """Measured outcome of one training run."""
+
+    label: str
+    epoch_seconds: List[float] = field(default_factory=list)
+    accuracies: List[float] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        return (
+            sum(self.epoch_seconds) / len(self.epoch_seconds)
+            if self.epoch_seconds
+            else 0.0
+        )
+
+
+def train_single_node(
+    rt: Runtime,
+    loader,
+    model: SGDClassifier,
+    validation: Tuple[np.ndarray, np.ndarray],
+    epochs: int,
+    accelerator: AcceleratorSpec = T4_LIKE,
+    label: str = "training",
+    order_override: Optional[Callable[[int], Sequence[TabularBlock]]] = None,
+) -> TrainingResult:
+    """Listing 2's ``model_training``: consume shuffled blocks as they
+    arrive, submitting the next epoch's shuffle before training starts so
+    it overlaps (double buffering).
+
+    ``order_override(epoch)`` substitutes the *learning* order of the
+    epoch's data (used by the Petastorm comparison, whose window order is
+    computed stream-side) while timing still follows the loader's refs.
+    """
+    if epochs < 1:
+        raise ValueError("need at least one epoch")
+    result = TrainingResult(label=label)
+    val_x, val_y = validation
+
+    def driver() -> None:
+        current = loader.submit_epoch(0)
+        for epoch in range(epochs):
+            upcoming = (
+                loader.submit_epoch(epoch + 1) if epoch + 1 < epochs else None
+            )
+            epoch_start = rt.timestamp()
+            for ref in current:
+                block = rt.get(ref)
+                # Accelerator crunches the block; background tasks (the
+                # rest of this epoch's shuffle and all of the next's)
+                # keep running during this simulated time.
+                rt.sleep(accelerator.seconds_for(block.size_bytes))
+                if order_override is None:
+                    model.train_block(block.features, block.labels)
+            if order_override is not None:
+                for block in order_override(epoch):
+                    model.train_block(block.features, block.labels)
+            result.epoch_seconds.append(rt.timestamp() - epoch_start)
+            result.accuracies.append(model.accuracy(val_x, val_y))
+            current = upcoming
+        return None
+
+    rt.run(driver)
+    result.total_seconds = rt.now
+    return result
+
+
+def _sgd_task_fn(learning_rate: float, batch_size: int):
+    """A remote-function body: params + block -> updated params."""
+
+    def train_step(params: np.ndarray, block: TabularBlock) -> np.ndarray:
+        worker = SGDClassifier(
+            num_features=len(params) - 1,
+            learning_rate=learning_rate,
+            batch_size=batch_size,
+        )
+        worker.set_params(params)
+        worker.train_block(block.features, block.labels)
+        return worker.get_params()
+
+    return train_step
+
+
+def train_distributed(
+    rt: Runtime,
+    loader,
+    model: SGDClassifier,
+    validation: Tuple[np.ndarray, np.ndarray],
+    epochs: int,
+    trainer_nodes: Sequence[NodeId],
+    accelerator: AcceleratorSpec = T4_LIKE,
+    label: str = "distributed",
+) -> TrainingResult:
+    """Data-parallel training: each trainer chains ``train_step`` tasks
+    over its shard (fetch of block k+1 prefetches during step k), and
+    epoch boundaries average parameters across trainers.
+    """
+    if epochs < 1 or not trainer_nodes:
+        raise ValueError("need >= 1 epoch and >= 1 trainer")
+    result = TrainingResult(label=label)
+    val_x, val_y = validation
+    step_fn = _sgd_task_fn(model.learning_rate, model.batch_size)
+
+    def gpu_cost(ctx) -> float:
+        return accelerator.seconds_for(ctx.input_bytes)
+
+    def driver() -> None:
+        params = model.get_params()
+        current = loader.submit_epoch(0)
+        for epoch in range(epochs):
+            upcoming = (
+                loader.submit_epoch(epoch + 1) if epoch + 1 < epochs else None
+            )
+            epoch_start = rt.timestamp()
+            shards = [
+                current[t :: len(trainer_nodes)]
+                for t in range(len(trainer_nodes))
+            ]
+            final_refs: List[ObjectRef] = []
+            for node, shard in zip(trainer_nodes, shards):
+                step = rt.remote(step_fn, compute=gpu_cost, node=node)
+                carried: object = params
+                for block_ref in shard:
+                    carried = step.remote(carried, block_ref)
+                if isinstance(carried, ObjectRef):
+                    final_refs.append(carried)
+            # Parameter averaging at the epoch barrier (all-reduce).
+            finals = rt.get(final_refs) if final_refs else [params]
+            params = SGDClassifier.average(finals)
+            model.set_params(params)
+            result.epoch_seconds.append(rt.timestamp() - epoch_start)
+            result.accuracies.append(model.accuracy(val_x, val_y))
+            current = upcoming
+        return None
+
+    rt.run(driver)
+    result.total_seconds = rt.now
+    return result

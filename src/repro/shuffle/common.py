@@ -1,0 +1,57 @@
+"""Shared plumbing for the shuffle libraries."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+from repro.common.ids import NodeId
+from repro.futures import Runtime
+
+T = TypeVar("T")
+
+
+def worker_nodes(rt: Runtime) -> List[NodeId]:
+    """The nodes a shuffle spreads work across (all alive nodes)."""
+    nodes = [node.node_id for node in rt.cluster.alive_nodes()]
+    if not nodes:
+        raise RuntimeError("no alive nodes for shuffle")
+    return nodes
+
+
+def assign_reducers(num_reduces: int, nodes: Sequence[NodeId]) -> List[List[int]]:
+    """Round-robin reducer ids onto workers; entry w lists worker w's
+    reducer partitions (the paper's NUM_REDUCERS_PER_WORKER grouping)."""
+    assignment: List[List[int]] = [[] for _ in nodes]
+    for r in range(num_reduces):
+        assignment[r % len(nodes)].append(r)
+    return assignment
+
+
+def unwrap_single_return(fn, num_returns: int):
+    """Adapt an R-way function for ``num_returns=1`` submission.
+
+    Shuffle map/merge functions return a *list* of R blocks; when R == 1
+    the runtime stores a task's single return value as-is, so the
+    one-element list must be unwrapped to keep block types uniform.
+    """
+    if num_returns > 1:
+        return fn
+
+    def adapted(*args):
+        blocks = fn(*args)
+        if not isinstance(blocks, (list, tuple)) or len(blocks) != 1:
+            raise ValueError(
+                f"{getattr(fn, '__name__', 'map_fn')} must return exactly "
+                f"one block when there is a single partition"
+            )
+        return blocks[0]
+
+    adapted.__name__ = getattr(fn, "__name__", "adapted")
+    return adapted
+
+
+def chunks(items: Sequence[T], size: int) -> List[List[T]]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]

@@ -1,0 +1,64 @@
+"""Magnet-style push-based shuffle (§3.1.3).
+
+Map output blocks are *pushed* to the node that will run their reduce
+task and merged there, so the final reduce reads locally and disk I/O on
+the reduce side is sequential.  Each reducer is pinned round-robin to a
+worker; merge tasks for reducer r run on r's worker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.futures import ObjectRef, Runtime
+from repro.shuffle.common import chunks, unwrap_single_return, worker_nodes
+
+
+def magnet_shuffle(
+    rt: Runtime,
+    inputs: Sequence[Any],
+    map_fn: Callable[[Any], List[Any]],
+    merge_fn: Callable[..., Any],
+    reduce_fn: Callable[..., Any],
+    num_reduces: int,
+    merge_factor: int = 4,
+    map_options: Optional[Dict[str, Any]] = None,
+    merge_options: Optional[Dict[str, Any]] = None,
+    reduce_options: Optional[Dict[str, Any]] = None,
+) -> List[ObjectRef]:
+    """Push-based shuffle with reduce-side merge; one ref per reducer.
+
+    ``merge_fn`` receives F blocks destined for one reducer and returns a
+    single merged block.
+    """
+    num_maps = len(inputs)
+    if num_maps == 0:
+        raise ValueError("shuffle needs at least one map input")
+    if merge_factor < 1:
+        raise ValueError("merge factor must be >= 1")
+    nodes = worker_nodes(rt)
+    map_task = rt.remote(
+        unwrap_single_return(map_fn, num_reduces),
+        num_returns=num_reduces,
+        **(map_options or {}),
+    )
+    merge_task = rt.remote(merge_fn, **(merge_options or {}))
+    reduce_task = rt.remote(reduce_fn, **(reduce_options or {}))
+
+    map_out: List[List[ObjectRef]] = []
+    for part in inputs:
+        refs = map_task.remote(part)
+        map_out.append([refs] if num_reduces == 1 else refs)
+
+    groups = chunks(list(range(num_maps)), merge_factor)
+    results: List[ObjectRef] = []
+    for r in range(num_reduces):
+        home = nodes[r % len(nodes)]
+        merged = [
+            merge_task.options(node=home).remote(
+                *[map_out[m][r] for m in group]
+            )
+            for group in groups
+        ]
+        results.append(reduce_task.options(node=home).remote(*merged))
+    return results

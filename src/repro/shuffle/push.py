@@ -1,0 +1,123 @@
+"""The pipelined two-stage push shuffle of Listing 3 / §4.1.
+
+This is the paper's most optimised library (ES-push / ES-push*):
+
+- Maps run in *rounds* of ``num_workers * map_parallelism`` tasks, so the
+  library applies its own backpressure with ``wait`` (§4.3.2): at most one
+  round of merge tasks is in flight, overlapping the next round's maps.
+- Each map task returns one bundle per worker (``num_returns=W``) holding
+  that worker's reducer blocks, so only the needed bytes move (§4.3.1
+  "multiple returns").
+- Merge tasks are *generators* pinned per worker (node affinity): they
+  yield one merged block per local reducer slot, bounding executor memory
+  and letting spilling proceed per block (§4.3.1 "pipelining with
+  generators").
+- With ``free_map_outputs=True`` (ES-push*), the round's map bundles are
+  released as soon as merges consume them, so they are evicted from
+  memory instead of spilled -- trading recovery speed for less write
+  amplification (§4.3.1, §5.1.4).  ES-push keeps them for durability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.futures import ObjectRef, Runtime
+from repro.shuffle.common import assign_reducers, chunks, worker_nodes
+
+
+def push_based_shuffle(
+    rt: Runtime,
+    inputs: Sequence[Any],
+    map_fn: Callable[[Any], List[Any]],
+    merge_fn: Callable[..., Any],
+    reduce_fn: Callable[..., Any],
+    num_reduces: int,
+    map_parallelism: int = 2,
+    pipeline_depth: int = 1,
+    free_map_outputs: bool = True,
+    map_options: Optional[Dict[str, Any]] = None,
+    merge_options: Optional[Dict[str, Any]] = None,
+    reduce_options: Optional[Dict[str, Any]] = None,
+) -> List[ObjectRef]:
+    """Two-stage pipelined push shuffle; returns one ref per reducer.
+
+    ``merge_fn(*blocks)`` combines the blocks destined for one reducer
+    from one round of maps into a single block; ``reduce_fn(*blocks)``
+    combines one reducer's merged blocks across all rounds.
+    """
+    num_maps = len(inputs)
+    if num_maps == 0:
+        raise ValueError("shuffle needs at least one map input")
+    if map_parallelism < 1:
+        raise ValueError("map parallelism must be >= 1")
+    if pipeline_depth < 1:
+        raise ValueError("pipeline depth must be >= 1")
+    nodes = worker_nodes(rt)
+    num_workers = len(nodes)
+    assignment = assign_reducers(num_reduces, nodes)
+
+    def push_map(part: Any) -> List[List[Any]]:
+        blocks = map_fn(part)
+        bundles = [[blocks[r] for r in slots] for slots in assignment]
+        return bundles[0] if num_workers == 1 else bundles
+
+    def push_merge(*bundles: List[Any]):
+        for slot_blocks in zip(*bundles):
+            yield merge_fn(*slot_blocks)
+
+    map_task = rt.remote(push_map, num_returns=num_workers, **(map_options or {}))
+    reduce_task = rt.remote(reduce_fn, **(reduce_options or {}))
+    retained: List[ObjectRef] = []
+
+    rounds = chunks(list(inputs), num_workers * map_parallelism)
+    # merge_results[w][rnd] is the list of merged refs for worker w's slots.
+    merge_results: List[List[List[ObjectRef]]] = [[] for _ in nodes]
+    in_flight: List[List[ObjectRef]] = []
+    for round_inputs in rounds:
+        map_results = [map_task.remote(part) for part in round_inputs]
+        if num_workers == 1:
+            map_results = [[ref] for ref in map_results]
+        # Backpressure (Listing 3 L22): keep at most ``pipeline_depth``
+        # rounds of merges in flight so map outputs are consumed directly
+        # instead of piling up in (and spilling out of) the store.
+        while len(in_flight) >= pipeline_depth:
+            oldest = in_flight.pop(0)
+            rt.wait(oldest, num_returns=len(oldest))
+        current_round: List[ObjectRef] = []
+        for w, node in enumerate(nodes):
+            slots = assignment[w]
+            if not slots:
+                continue
+            merge_task = rt.remote(
+                push_merge, num_returns=len(slots), node=node,
+                **(merge_options or {})
+            )
+            refs = merge_task.remote(*[bundle[w] for bundle in map_results])
+            if len(slots) == 1:
+                refs = [refs]
+            merge_results[w].append(refs)
+            current_round.extend(refs)
+        if free_map_outputs:
+            # ES-push*: drop the round's map bundles; merges hold their own
+            # references until they finish, after which the bundles are
+            # evicted without ever touching disk.
+            for bundle in map_results:
+                rt.free(bundle)
+        else:
+            # ES-push: keep the un-merged bundles alive for the whole job,
+            # so they spill to disk and survive as recovery redundancy.
+            for bundle in map_results:
+                retained.extend(bundle)
+        in_flight.append(current_round)
+        del map_results
+
+    results: List[Optional[ObjectRef]] = [None] * num_reduces
+    for w, node in enumerate(nodes):
+        for j, r in enumerate(assignment[w]):
+            per_round = [round_refs[j] for round_refs in merge_results[w]]
+            results[r] = reduce_task.options(node=node).remote(*per_round)
+    final = [ref for ref in results if ref is not None]
+    if retained:
+        rt.retain_until(retained, final)
+    return final

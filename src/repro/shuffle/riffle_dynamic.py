@@ -1,0 +1,97 @@
+"""Riffle with runtime introspection (the §4.3.2 extension).
+
+Instead of pinning maps statically, the library observes where map
+outputs actually land (``rt.locations_of``) as tasks finish and builds
+per-node merge groups dynamically, flushing on Riffle's block-size
+threshold -- the introspection-driven variant the paper sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.futures import ObjectRef, Runtime
+from repro.shuffle.common import unwrap_single_return
+
+def riffle_shuffle_dynamic(
+    rt: Runtime,
+    inputs: Sequence[Any],
+    map_fn: Callable[[Any], List[Any]],
+    merge_fn: Callable[..., List[Any]],
+    reduce_fn: Callable[..., Any],
+    num_reduces: int,
+    merge_factor: int = 4,
+    merge_threshold_bytes: Optional[int] = None,
+    map_options: Optional[Dict[str, Any]] = None,
+    merge_options: Optional[Dict[str, Any]] = None,
+    reduce_options: Optional[Dict[str, Any]] = None,
+) -> List[ObjectRef]:
+    """Riffle with *runtime introspection* instead of static placement.
+
+    Maps are scheduled freely; as each finishes, the library asks the
+    system where its outputs landed (``rt.locations_of``, §4.3.2) and
+    accumulates per-node merge groups -- Riffle's "as soon as F map tasks
+    finish on an executor node".  A group is flushed when it reaches
+    ``merge_factor`` maps or, if ``merge_threshold_bytes`` is given,
+    Riffle's dynamic block-size policy: when the group's accumulated
+    output bytes cross the threshold.
+    """
+    num_maps = len(inputs)
+    if num_maps == 0:
+        raise ValueError("shuffle needs at least one map input")
+    if merge_factor < 1:
+        raise ValueError("merge factor must be >= 1")
+    map_task = rt.remote(
+        unwrap_single_return(map_fn, num_reduces),
+        num_returns=num_reduces,
+        **(map_options or {}),
+    )
+    merge_task = rt.remote(
+        unwrap_single_return(merge_fn, num_reduces),
+        num_returns=num_reduces,
+        **(merge_options or {}),
+    )
+    reduce_task = rt.remote(reduce_fn, **(reduce_options or {}))
+
+    map_out: List[List[ObjectRef]] = []
+    for part in inputs:
+        refs = map_task.remote(part)
+        map_out.append([refs] if num_reduces == 1 else refs)
+
+    merge_out: List[List[ObjectRef]] = []
+
+    def flush(node: Any, group: List[int]) -> None:
+        args = [map_out[m][r] for m in group for r in range(num_reduces)]
+        refs = merge_task.options(node=node).remote(*args)
+        merge_out.append([refs] if num_reduces == 1 else refs)
+
+    # Track completion via each map's first output block.
+    pending: Dict[ObjectRef, int] = {row[0]: m for m, row in enumerate(map_out)}
+    groups: Dict[Any, List[int]] = {}
+    group_bytes: Dict[Any, int] = {}
+    while pending:
+        ready, _ = rt.wait(list(pending), num_returns=1)
+        for ref in ready:
+            m = pending.pop(ref, None)
+            if m is None:
+                continue
+            locations = rt.locations_of(ref)
+            node = locations[0] if locations else None
+            groups.setdefault(node, []).append(m)
+            group_bytes[node] = group_bytes.get(node, 0) + sum(
+                rt.object_size(out) for out in map_out[m]
+            )
+            full = len(groups[node]) >= merge_factor or (
+                merge_threshold_bytes is not None
+                and group_bytes[node] >= merge_threshold_bytes
+            )
+            if full:
+                flush(node, groups.pop(node))
+                group_bytes.pop(node, None)
+    for node, group in groups.items():
+        flush(node, group)
+
+    return [
+        reduce_task.remote(*[column[r] for column in merge_out])
+        for r in range(num_reduces)
+    ]

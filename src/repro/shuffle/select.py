@@ -1,0 +1,55 @@
+"""Runtime shuffle selection (§5.1.3, §7).
+
+The paper's closing observation: the best shuffle depends on data size,
+layout, and hardware, and a library architecture lets the application pick
+*at run time* without deploying another system.  This helper encodes the
+evaluation's empirical rule:
+
+- data fits comfortably in aggregate object-store memory and partitions
+  are few  -> simple shuffle (merging would only add overhead, Fig 4c);
+- otherwise -> push-based shuffle (I/O efficiency and pipelining win).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.futures import Runtime
+from repro.shuffle.push import push_based_shuffle
+from repro.shuffle.simple import simple_shuffle
+
+#: Above this many partitions, push-based pipelining wins even in memory
+#: (the Fig 4c crossover is between 80 and 200 partitions).
+PARTITION_CROSSOVER = 150
+
+#: Fraction of aggregate store memory the working set may occupy and
+#: still count as "fits in memory" (input + shuffled copy + slack).
+MEMORY_HEADROOM = 0.4
+
+
+def choose_shuffle(
+    rt: Runtime,
+    total_data_bytes: int,
+    num_partitions: int,
+) -> Callable[..., Any]:
+    """Pick ``simple_shuffle`` or ``push_based_shuffle`` for this job."""
+    store_bytes = sum(
+        node.spec.object_store_bytes for node in rt.cluster.alive_nodes()
+    )
+    in_memory = total_data_bytes <= MEMORY_HEADROOM * store_bytes
+    if in_memory and num_partitions < PARTITION_CROSSOVER:
+        return simple_shuffle
+    return push_based_shuffle
+
+
+def describe_choice(rt: Runtime, total_data_bytes: int, num_partitions: int) -> Dict[str, Any]:
+    """The decision plus the inputs that drove it (for logging/tests)."""
+    chosen = choose_shuffle(rt, total_data_bytes, num_partitions)
+    return {
+        "algorithm": chosen.__name__,
+        "total_data_bytes": total_data_bytes,
+        "num_partitions": num_partitions,
+        "aggregate_store_bytes": sum(
+            node.spec.object_store_bytes for node in rt.cluster.alive_nodes()
+        ),
+    }

@@ -1,0 +1,46 @@
+"""Simple (pull-based) shuffle: the MapReduce baseline of §3.1.1.
+
+Every map task returns one block per reduce partition; every reduce task
+pulls its column of blocks.  Block count is M x R, which is what makes
+this variant degrade as partitions shrink (Fig 4a/4b).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.futures import ObjectRef, Runtime
+from repro.shuffle.common import unwrap_single_return
+
+
+def simple_shuffle(
+    rt: Runtime,
+    inputs: Sequence[Any],
+    map_fn: Callable[[Any], List[Any]],
+    reduce_fn: Callable[..., Any],
+    num_reduces: int,
+    map_options: Optional[Dict[str, Any]] = None,
+    reduce_options: Optional[Dict[str, Any]] = None,
+) -> List[ObjectRef]:
+    """Submit a full pull-based shuffle; returns one ref per reducer.
+
+    Non-blocking: the entire task graph is submitted eagerly and the
+    caller consumes the returned refs with ``rt.get``/``rt.wait``.
+    """
+    num_maps = len(inputs)
+    if num_maps == 0:
+        raise ValueError("shuffle needs at least one map input")
+    map_task = rt.remote(
+        unwrap_single_return(map_fn, num_reduces),
+        num_returns=num_reduces,
+        **(map_options or {}),
+    )
+    reduce_task = rt.remote(reduce_fn, **(reduce_options or {}))
+
+    map_out = [map_task.remote(part) for part in inputs]
+    if num_reduces == 1:
+        map_out = [[ref] for ref in map_out]
+    return [
+        reduce_task.remote(*[map_out[m][r] for m in range(num_maps)])
+        for r in range(num_reduces)
+    ]

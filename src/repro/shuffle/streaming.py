@@ -1,0 +1,64 @@
+"""Streaming shuffle for online aggregation (§3.2.1, Listing 2).
+
+The shuffle runs in rounds; reduce tasks carry state from round to round,
+and after each round an application hook sees the current reducer states
+(as refs) so it can compute and surface a partial aggregate -- no
+modification of the underlying system required, which is the point of
+the section.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.futures import ObjectRef, Runtime
+from repro.shuffle.common import unwrap_single_return
+
+RoundHook = Callable[[int, List[ObjectRef]], None]
+
+
+def streaming_shuffle(
+    rt: Runtime,
+    input_rounds: Sequence[Sequence[Any]],
+    map_fn: Callable[[Any], List[Any]],
+    reduce_fn: Callable[..., Any],
+    num_reduces: int,
+    on_round: Optional[RoundHook] = None,
+    map_options: Optional[Dict[str, Any]] = None,
+    reduce_options: Optional[Dict[str, Any]] = None,
+) -> List[ObjectRef]:
+    """Round-based shuffle with stateful reducers.
+
+    ``reduce_fn(state, *blocks)`` folds one round's blocks into the
+    reducer's state (``state`` is ``None`` on the first round).  Returns
+    the final reducer-state refs.  ``on_round`` is invoked after each
+    round's reduce tasks are submitted -- this is where online aggregation
+    hooks in its asynchronous partial-aggregate computation.
+    """
+    if not input_rounds:
+        raise ValueError("streaming shuffle needs at least one round")
+    map_task = rt.remote(
+        unwrap_single_return(map_fn, num_reduces),
+        num_returns=num_reduces,
+        **(map_options or {}),
+    )
+    reduce_task = rt.remote(reduce_fn, **(reduce_options or {}))
+
+    reduce_states: List[Optional[ObjectRef]] = [None] * num_reduces
+    for rnd, round_inputs in enumerate(input_rounds):
+        map_results = [map_task.remote(part) for part in round_inputs]
+        if num_reduces == 1:
+            map_results = [[ref] for ref in map_results]
+        if rnd > 0:
+            # Throttle: one round of reducers in flight at a time.
+            live = [ref for ref in reduce_states if ref is not None]
+            rt.wait(live, num_returns=len(live))
+        reduce_states = [
+            reduce_task.remote(
+                reduce_states[r], *[column[r] for column in map_results]
+            )
+            for r in range(num_reduces)
+        ]
+        if on_round is not None:
+            on_round(rnd, list(reduce_states))
+    return list(reduce_states)

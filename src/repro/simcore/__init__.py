@@ -1,0 +1,28 @@
+"""A small deterministic discrete-event simulation engine.
+
+The engine is in the style of SimPy but purpose-built: processes are Python
+generators that yield *events* (timeouts, bare events, other processes, or
+combinators) and are resumed when those events trigger.  Everything the
+reproduction simulates -- disks, NICs, CPU cores, the distributed-futures
+runtime, failures -- is built from these primitives.
+
+Determinism: the event queue breaks time ties by a monotonically increasing
+sequence number, and no wall-clock or OS randomness is consulted anywhere,
+so a simulation with the same inputs always produces the same trace.
+"""
+
+from repro.simcore.engine import Environment, Process
+from repro.simcore.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.simcore.resources import BandwidthResource, Resource
+
+__all__ = [
+    "Environment",
+    "Process",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Resource",
+    "BandwidthResource",
+]

@@ -1,0 +1,200 @@
+"""The event loop and generator-based processes."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.simcore.events import AllOf, AnyOf, Event, Interrupt, Timeout
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class _CallbackEvent(Event):
+    """Internal event used to run a bare callable at a scheduled time."""
+
+    def __init__(self, env: "Environment", fn: Callable[[], None]) -> None:
+        super().__init__(env)
+        self._state = Event._TRIGGERED
+        self.add_callback(lambda _event: fn())
+
+
+class Environment:
+    """Holds simulated time and the pending-event queue."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, delay: float, event: Event) -> None:
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), event))
+
+    def _schedule_callback(self, delay: float, fn: Callable[[], None]) -> None:
+        event = _CallbackEvent(self, fn)
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), event))
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._schedule_callback(delay, fn)
+
+    # -- factory helpers ----------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that succeeds when every child has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that succeeds with the first child that succeeds."""
+        return AnyOf(self, events)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> "Process":
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- execution ----------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next queued event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Pop and process one event."""
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:
+            raise RuntimeError("event queue went backwards in time")
+        self.now = when
+        event._process_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains or ``until`` is reached.
+
+        When ``until`` is given, time is advanced to exactly ``until`` even
+        if the queue drains earlier, mirroring SimPy semantics.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        if until < self.now:
+            raise ValueError(f"run(until={until}) is in the past (now={self.now})")
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self.now = until
+
+    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
+        """Drive the simulation until ``event`` is processed; return its value.
+
+        Raises ``RuntimeError`` if the queue drains (deadlock) or the time
+        ``limit`` passes before the event triggers -- both indicate bugs in
+        the simulated program rather than expected outcomes.
+        """
+        while not event.processed:
+            if not self._queue:
+                raise RuntimeError(
+                    f"deadlock: event queue drained at t={self.now} "
+                    f"while waiting for {event!r}"
+                )
+            if self.peek() > limit:
+                raise RuntimeError(
+                    f"time limit {limit} exceeded waiting for {event!r}"
+                )
+            self.step()
+        return event.value
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on completion.
+
+    The generator yields events; the process resumes when each triggers,
+    receiving the event's value (or having its exception thrown in).  The
+    process's own completion value is the generator's return value.
+    """
+
+    def __init__(
+        self, env: Environment, generator: ProcessGenerator, name: str = ""
+    ) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "throw"):
+            raise TypeError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: start executing on the next engine step.
+        env._schedule_callback(0.0, self._start)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} waiting_on={self._waiting_on!r}>"
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def _start(self) -> None:
+        if self.triggered:  # interrupted before it ever ran
+            return
+        self._advance(lambda: self._generator.send(None))
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A no-op if the process already finished.  The event the process was
+        waiting on is abandoned: its trigger will be ignored.
+        """
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self.env._schedule_callback(
+            0.0, lambda: self._advance(lambda: self._generator.throw(Interrupt(cause)))
+        )
+
+    # -- internals --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered or event is not self._waiting_on:
+            return  # stale wakeup (we were interrupted past this wait)
+        self._waiting_on = None
+        if event.ok:
+            value = event.value
+            self._advance(lambda: self._generator.send(value))
+        else:
+            exception = event.exception
+            assert exception is not None
+            self._advance(lambda: self._generator.throw(exception))
+
+    def _advance(self, step: Callable[[], Any]) -> None:
+        if self.triggered:
+            return
+        try:
+            target = step()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # The process did not catch its own interrupt: treat as failure.
+            self.fail(RuntimeError(f"process {self.name} died of interrupt"))
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via the event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                TypeError(
+                    f"process {self.name} yielded {target!r}; processes may "
+                    "only yield Event instances"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,35 @@
+"""The Sort Benchmark (TeraSort/CloudSort) application (§5.1).
+
+Provides dataset generation, range partitioning, the map/merge/reduce
+operator set used by every shuffle variant, output validation, and a
+high-level job runner that the Fig 4 benchmarks drive.
+"""
+
+from repro.sort.datagen import generate_partitions
+from repro.sort.partitioner import sample_bounds, uniform_bounds
+from repro.sort.ops import SortOps
+from repro.sort.validate import SortValidationError, validate_sorted_output
+from repro.sort.job import (
+    SortJobConfig,
+    SortResult,
+    VARIANTS,
+    run_sort,
+    theoretical_sort_seconds,
+)
+from repro.sort.cloudsort import CloudSortCost, cloudsort_cost
+
+__all__ = [
+    "VARIANTS",
+    "CloudSortCost",
+    "cloudsort_cost",
+    "generate_partitions",
+    "uniform_bounds",
+    "sample_bounds",
+    "SortOps",
+    "validate_sorted_output",
+    "SortValidationError",
+    "SortJobConfig",
+    "SortResult",
+    "run_sort",
+    "theoretical_sort_seconds",
+]

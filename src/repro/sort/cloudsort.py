@@ -1,0 +1,77 @@
+"""CloudSort cost accounting.
+
+The sort benchmark the paper runs has a cost-centric variant (CloudSort,
+which Exoshuffle-on-Ray went on to win): the metric is *dollars to sort
+the dataset* at public cloud prices.  Given a cluster of priced instance
+types and a job completion time, this module computes the $/TB figure the
+benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.units import TB
+
+#: On-demand us-west-2-ish hourly prices for the paper's instance types
+#: (absolute values matter less than their ratios; override per run).
+DEFAULT_HOURLY_PRICES: Dict[str, float] = {
+    "d3.2xlarge": 0.999,
+    "i3.2xlarge": 0.624,
+    "r6i.2xlarge": 0.504,
+    "g4dn.4xlarge": 1.204,
+}
+
+
+@dataclass(frozen=True)
+class CloudSortCost:
+    """The cost report for one sort run."""
+
+    instance_type: str
+    num_nodes: int
+    hourly_price: float
+    job_seconds: float
+    data_bytes: int
+
+    @property
+    def total_dollars(self) -> float:
+        hours = self.job_seconds / 3600.0
+        return self.num_nodes * self.hourly_price * hours
+
+    @property
+    def dollars_per_tb(self) -> float:
+        return self.total_dollars / (self.data_bytes / TB)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_nodes}x {self.instance_type} for "
+            f"{self.job_seconds:.0f}s: ${self.total_dollars:.2f} total, "
+            f"${self.dollars_per_tb:.3f}/TB"
+        )
+
+
+def cloudsort_cost(
+    instance_type: str,
+    num_nodes: int,
+    job_seconds: float,
+    data_bytes: int,
+    hourly_price: float = None,
+) -> CloudSortCost:
+    """Build the cost report, defaulting to the known price table."""
+    if job_seconds <= 0 or num_nodes < 1 or data_bytes <= 0:
+        raise ValueError("degenerate cost inputs")
+    if hourly_price is None:
+        try:
+            hourly_price = DEFAULT_HOURLY_PRICES[instance_type]
+        except KeyError:
+            raise ValueError(
+                f"no default price for {instance_type!r}; pass hourly_price"
+            ) from None
+    return CloudSortCost(
+        instance_type=instance_type,
+        num_nodes=num_nodes,
+        hourly_price=hourly_price,
+        job_seconds=job_seconds,
+        data_bytes=data_bytes,
+    )

@@ -1,0 +1,5 @@
+"""Developer tooling: line counting for the Table 1 comparison."""
+
+from repro.tools.loc import count_loc, shuffle_library_loc
+
+__all__ = ["count_loc", "shuffle_library_loc"]

@@ -1,0 +1,80 @@
+"""Lines-of-code counting for Table 1.
+
+The paper counts the application-level code needed to express each
+shuffle algorithm and compares it against its monolithic counterpart
+(Spark's shuffle package, Riffle, Magnet).  We count the same way:
+non-blank, non-comment source lines, excluding module docstrings --
+the measure of *how much a developer writes*, not how much they
+document.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+import repro.shuffle as _shuffle_pkg
+
+#: The algorithm -> implementation-files map used by the Table 1 bench.
+SHUFFLE_ALGORITHM_FILES: Dict[str, List[str]] = {
+    "simple": ["simple.py", "common.py"],
+    "pre-shuffle merge": ["riffle.py", "common.py"],
+    "push-based": ["magnet.py", "common.py"],
+    "push-based with pipelining": ["push.py", "common.py"],
+}
+
+#: Monolithic-system LoC as reported in Table 1 of the paper.
+PAPER_MONOLITHIC_LOC: Dict[str, int] = {
+    "simple": 2600,  # org.apache.spark.shuffle
+    "pre-shuffle merge": 4000,  # Riffle, as reported by Zhang et al.
+    "push-based": 6700,  # Magnet, lines added in apache/spark#29808
+    "push-based with pipelining": 6700,
+}
+
+
+def count_loc(path: Path) -> int:
+    """Count non-blank, non-comment, non-docstring lines of one file."""
+    source = path.read_text()
+    code_lines = set()
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    prev_toktype = tokenize.INDENT
+    for token in tokens:
+        if token.type in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            prev_toktype = token.type
+            continue
+        if token.type == tokenize.STRING and prev_toktype in (
+            tokenize.INDENT,
+            tokenize.NEWLINE,
+            tokenize.ENCODING,
+        ):
+            # A docstring (string statement at the start of a suite).
+            prev_toktype = token.type
+            continue
+        for line in range(token.start[0], token.end[0] + 1):
+            code_lines.add(line)
+        prev_toktype = token.type
+    return len(code_lines)
+
+
+def count_loc_many(paths: Iterable[Path]) -> int:
+    """Sum of :func:`count_loc` over several files."""
+    return sum(count_loc(path) for path in paths)
+
+
+def shuffle_library_loc() -> Dict[str, int]:
+    """LoC of each shuffle algorithm as implemented in this repo."""
+    package_dir = Path(_shuffle_pkg.__file__).parent
+    return {
+        algorithm: count_loc_many(package_dir / name for name in files)
+        for algorithm, files in SHUFFLE_ALGORITHM_FILES.items()
+    }

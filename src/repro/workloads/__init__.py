@@ -1,0 +1,5 @@
+"""Synthetic workload generators for the application experiments."""
+
+from repro.workloads.pageviews import PageviewBlock, PageviewDataset
+
+__all__ = ["PageviewBlock", "PageviewDataset"]

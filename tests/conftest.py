@@ -1,0 +1,45 @@
+"""Shared fixtures: small clusters and runtimes for unit tests."""
+
+import pytest
+
+from repro.cluster import DiskSpec, NicSpec, NodeSpec
+from repro.common.units import GIB, MIB
+from repro.futures import Runtime, RuntimeConfig
+
+
+def make_node_spec(
+    cores: int = 4,
+    memory_gib: int = 8,
+    store_mib: int = 2048,
+    disk_mb_s: float = 200.0,
+    seek_ms: float = 5.0,
+    nic_mb_s: float = 125.0,
+) -> NodeSpec:
+    return NodeSpec(
+        name="test-node",
+        cores=cores,
+        memory_bytes=memory_gib * GIB,
+        object_store_bytes=store_mib * MIB,
+        disk=DiskSpec(
+            bandwidth_bytes_per_sec=disk_mb_s * 1e6, seek_latency_s=seek_ms * 1e-3
+        ),
+        nic=NicSpec(bandwidth_bytes_per_sec=nic_mb_s * 1e6),
+    )
+
+
+def make_runtime(
+    num_nodes: int = 2, config: RuntimeConfig = None, **spec_kwargs
+) -> Runtime:
+    return Runtime.create(
+        make_node_spec(**spec_kwargs), num_nodes, config=config or RuntimeConfig()
+    )
+
+
+@pytest.fixture
+def rt() -> Runtime:
+    return make_runtime()
+
+
+@pytest.fixture
+def rt_single() -> Runtime:
+    return make_runtime(num_nodes=1)

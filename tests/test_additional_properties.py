@@ -1,0 +1,109 @@
+"""Additional property-based coverage: byte servers, partitioner bounds,
+heterogeneous clusters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks import RealBlock
+from repro.cluster import Cluster, ClusterSpec
+from repro.simcore import BandwidthResource, Environment
+from repro.sort import sample_bounds, uniform_bounds
+
+from tests.conftest import make_node_spec
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=0, max_value=10**7), min_size=1, max_size=20
+    ),
+    bandwidth=st.floats(min_value=1e3, max_value=1e9),
+    latency=st.floats(min_value=0.0, max_value=0.1),
+)
+def test_property_bandwidth_server_conserves_time_and_bytes(
+    sizes, bandwidth, latency
+):
+    """Total busy time equals the sum of per-op service times, and the
+    last completion lands exactly at the busy-time mark (FIFO, no gaps)."""
+    env = Environment()
+    server = BandwidthResource(env, bandwidth, per_op_latency=latency)
+    done_times = []
+
+    def proc():
+        for size in sizes:
+            yield server.transfer(size)
+            done_times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    expected_busy = sum(latency + s / bandwidth for s in sizes)
+    assert server.busy_seconds == pytest.approx(expected_busy)
+    assert server.bytes_served == sum(sizes)
+    assert server.ops_served == len(sizes)
+    assert done_times[-1] == pytest.approx(expected_busy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_reduces=st.integers(min_value=1, max_value=64),
+    key_space=st.integers(min_value=64, max_value=2**32),
+)
+def test_property_uniform_bounds_are_valid_cut_points(num_reduces, key_space):
+    bounds = uniform_bounds(num_reduces, key_space)
+    assert len(bounds) == num_reduces - 1
+    assert all(0 < b < key_space for b in bounds)
+    assert all(a < b for a, b in zip(bounds, bounds[1:]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_records=st.integers(min_value=1, max_value=3000),
+    num_reduces=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_property_sampled_bounds_strictly_ascending(
+    num_records, num_reduces, seed
+):
+    blocks = [RealBlock.generate(num_records, seed=seed)]
+    bounds = sample_bounds(blocks, num_reduces, seed=seed)
+    assert len(bounds) == num_reduces - 1
+    assert all(a < b for a, b in zip(bounds, bounds[1:]))
+
+
+class TestHeterogeneousClusters:
+    def test_mixed_node_specs(self):
+        small = make_node_spec(cores=2)
+        big = make_node_spec(cores=16)
+        spec = ClusterSpec(nodes=[small, big, small])
+        env = Environment()
+        cluster = Cluster(env, spec)
+        assert len(cluster) == 3
+        assert spec.total_cores == 20
+        cores = [node.spec.cores for node in cluster.nodes]
+        assert cores == [2, 16, 2]
+
+    def test_runtime_on_heterogeneous_cluster(self):
+        from repro.futures import Runtime
+
+        small = make_node_spec(cores=1)
+        big = make_node_spec(cores=8)
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(nodes=[small, big]))
+        rt = Runtime(cluster, env=env)
+        work = rt.remote(lambda: 1).options(compute=1.0)
+
+        def driver():
+            refs = [work.remote() for _ in range(9)]
+            rt.wait(refs, num_returns=len(refs))
+            return sum(rt.get(refs))
+
+        assert rt.run(driver) == 9
+        # Load-aware spread: the big node should host most of the work.
+        big_tasks = sum(
+            1
+            for record in rt.tasks.values()
+            if record.assigned_node == cluster.node_ids[1]
+            and record.spec.options.compute == 1.0
+        )
+        assert big_tasks >= 6

@@ -1,0 +1,117 @@
+"""Online aggregation (Fig 5): streaming vs batch behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import kl_divergence, run_online_aggregation
+from repro.workloads import PageviewDataset
+
+from tests.conftest import make_runtime
+
+
+def small_dataset(hours=24, block_mb=32):
+    return PageviewDataset(
+        num_hours=hours,
+        languages=4,
+        pages_per_language=200,
+        block_bytes=block_mb * 10**6,
+        views_per_hour=200_000,
+        seed=7,
+    )
+
+
+class TestWorkload:
+    def test_hourly_blocks_deterministic(self):
+        data = small_dataset()
+        a, b = data.hourly_block(3), data.hourly_block(3)
+        for lang in data.languages:
+            assert (a.counts[lang] == b.counts[lang]).all()
+
+    def test_zipf_head_dominates(self):
+        block = small_dataset().hourly_block(0)
+        counts = block.counts["lang00"]
+        assert counts[:10].sum() > counts[100:].sum()
+
+    def test_final_distribution_normalised(self):
+        data = small_dataset(hours=6)
+        final = data.final_distribution()
+        for dist in final.values():
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            small_dataset().hourly_block(9999)
+        with pytest.raises(ValueError):
+            PageviewDataset(num_hours=0)
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.5, 0.3, 0.2])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different(self):
+        assert kl_divergence(np.array([0.9, 0.1]), np.array([0.5, 0.5])) > 0.1
+
+
+class TestOnlineAggregation:
+    def test_batch_mode_produces_exact_final_answer(self):
+        rt = make_runtime(num_nodes=2, store_mib=2048, nic_mb_s=1500.0)
+        result = run_online_aggregation(
+            rt, small_dataset(), num_reduces=4, mode="batch"
+        )
+        assert result.final_error == pytest.approx(0.0, abs=1e-9)
+        assert result.total_seconds > 0
+        assert len(result.error_series) == 1  # only the final answer
+
+    def test_streaming_mode_emits_partial_results(self):
+        rt = make_runtime(num_nodes=2, store_mib=2048, nic_mb_s=1500.0)
+        result = run_online_aggregation(
+            rt,
+            small_dataset(hours=24),
+            num_reduces=4,
+            mode="streaming",
+            hours_per_round=6,
+        )
+        # one partial per round plus the final
+        assert len(result.error_series) >= 4
+        errors = result.error_series.values
+        # partials converge towards the final answer
+        assert errors[0] > errors[-1]
+        assert result.final_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_streaming_partial_early_and_accurate(self):
+        """The headline: a usable partial long before batch finishes."""
+        data = small_dataset(hours=48, block_mb=24)
+        rt_batch = make_runtime(num_nodes=2, store_mib=2048, nic_mb_s=1500.0)
+        batch = run_online_aggregation(rt_batch, data, 4, mode="batch")
+        rt_stream = make_runtime(num_nodes=2, store_mib=2048, nic_mb_s=1500.0)
+        stream = run_online_aggregation(
+            rt_stream, data, 4, mode="streaming", hours_per_round=6
+        )
+        t_partial = stream.first_time_within(0.08)
+        assert t_partial < 0.6 * batch.total_seconds
+
+    def test_streaming_total_slower_than_batch(self):
+        data = small_dataset(hours=48, block_mb=24)
+        rt_batch = make_runtime(num_nodes=2, store_mib=2048, nic_mb_s=1500.0)
+        batch = run_online_aggregation(rt_batch, data, 4, mode="batch")
+        rt_stream = make_runtime(num_nodes=2, store_mib=2048, nic_mb_s=1500.0)
+        stream = run_online_aggregation(
+            rt_stream, data, 4, mode="streaming", hours_per_round=6
+        )
+        assert stream.total_seconds > batch.total_seconds
+
+    def test_progress_series_reach_one(self):
+        rt = make_runtime(num_nodes=2, store_mib=2048, nic_mb_s=1500.0)
+        result = run_online_aggregation(
+            rt, small_dataset(hours=12), num_reduces=4, mode="streaming",
+            hours_per_round=4,
+        )
+        assert result.map_progress.values[-1] == pytest.approx(1.0)
+        assert result.reduce_progress.values[-1] == pytest.approx(1.0)
+
+    def test_unknown_mode_rejected(self):
+        rt = make_runtime(num_nodes=1)
+        with pytest.raises(ValueError):
+            run_online_aggregation(rt, small_dataset(), mode="warp")

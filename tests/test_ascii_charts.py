@@ -1,0 +1,63 @@
+"""Text chart rendering."""
+
+import pytest
+
+from repro.metrics.ascii_charts import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart("JCT", ["a", "b"], [10.0, 20.0], width=20)
+        lines = text.splitlines()
+        bar_a = lines[2].count("#")
+        bar_b = lines[3].count("#")
+        assert bar_b == 20 and bar_a == 10
+        assert "10.0s" in lines[2] and "20.0s" in lines[3]
+
+    def test_zero_values_render(self):
+        text = bar_chart("t", ["x"], [0.0])
+        assert "0.0" in text
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], [1.0, 2.0])
+
+    def test_empty_chart_is_title(self):
+        assert bar_chart("just title", [], []) == "just title"
+
+
+class TestGroupedBarChart:
+    def test_groups_by_x_value(self):
+        text = grouped_bar_chart(
+            "fig",
+            {"simple": {100: 10.0, 200: 20.0}, "push": {100: 8.0}},
+        )
+        assert "[100]" in text and "[200]" in text
+        assert text.index("[100]") < text.index("[200]")
+        # push appears once (missing at 200)
+        assert text.count("push") == 1
+
+    def test_unit_suffix(self):
+        text = grouped_bar_chart("f", {"s": {1: 5.0}}, unit="GB")
+        assert "5.0GB" in text
+
+
+class TestLineChart:
+    def test_plots_every_series_with_distinct_markers(self):
+        text = line_chart(
+            "errors",
+            {
+                "stream": [(0.0, 1.0), (5.0, 0.5), (10.0, 0.1)],
+                "batch": [(10.0, 0.05)],
+            },
+        )
+        assert "*" in text and "+" in text
+        assert "legend" in text
+        assert "stream" in text and "batch" in text
+
+    def test_empty_series_is_title(self):
+        assert line_chart("empty", {}) == "empty"
+
+    def test_single_point_does_not_crash(self):
+        text = line_chart("p", {"only": [(1.0, 1.0)]})
+        assert "only" in text

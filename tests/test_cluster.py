@@ -1,0 +1,194 @@
+"""Unit tests for the cluster hardware model."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    D3_2XLARGE,
+    DiskSpec,
+    FailureInjector,
+    FailurePlan,
+    I3_2XLARGE,
+    NicSpec,
+    NodeSpec,
+)
+from repro.common.units import GIB, MIB
+from repro.simcore import Environment
+
+
+def small_spec(cores=4):
+    return NodeSpec(
+        name="test-node",
+        cores=cores,
+        memory_bytes=8 * GIB,
+        object_store_bytes=2 * GIB,
+        disk=DiskSpec(bandwidth_bytes_per_sec=100 * MIB, seek_latency_s=5e-3),
+        nic=NicSpec(bandwidth_bytes_per_sec=125 * MIB),
+    )
+
+
+class TestSpecs:
+    def test_presets_are_valid(self):
+        for preset in (D3_2XLARGE, I3_2XLARGE):
+            assert preset.cores == 8
+            assert preset.object_store_bytes < preset.memory_bytes
+
+    def test_hdd_vs_ssd_seek_gap(self):
+        """The HDD preset must punish random I/O far more than the SSD."""
+        hdd, ssd = D3_2XLARGE.disk, I3_2XLARGE.disk
+        assert hdd.effective_seek_latency_s > 100 * ssd.effective_seek_latency_s
+
+    def test_spindles_divide_seek(self):
+        disk = DiskSpec(bandwidth_bytes_per_sec=1e9, seek_latency_s=8e-3, spindles=4)
+        assert disk.effective_seek_latency_s == pytest.approx(2e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskSpec(bandwidth_bytes_per_sec=0, seek_latency_s=0)
+        with pytest.raises(ValueError):
+            NicSpec(bandwidth_bytes_per_sec=-1)
+        with pytest.raises(ValueError):
+            NodeSpec(
+                name="bad",
+                cores=1,
+                memory_bytes=GIB,
+                object_store_bytes=2 * GIB,  # bigger than memory
+                disk=DiskSpec(bandwidth_bytes_per_sec=1, seek_latency_s=0),
+                nic=NicSpec(bandwidth_bytes_per_sec=1),
+            )
+
+    def test_with_object_store(self):
+        shrunk = D3_2XLARGE.with_object_store(1 * GIB)
+        assert shrunk.object_store_bytes == GIB
+        assert shrunk.disk == D3_2XLARGE.disk
+
+    def test_cluster_spec_aggregates(self):
+        spec = ClusterSpec.homogeneous(small_spec(), 10)
+        assert spec.num_nodes == 10
+        assert spec.total_cores == 40
+        assert spec.aggregate_disk_bandwidth == pytest.approx(10 * 100 * MIB)
+
+    def test_cluster_spec_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ClusterSpec.homogeneous(small_spec(), 0)
+
+
+class TestNodeIO:
+    def test_sequential_write_skips_seek(self):
+        env = Environment()
+        cluster = Cluster.homogeneous(env, small_spec(), 1)
+        node = cluster.nodes[0]
+        times = {}
+
+        def proc():
+            yield node.disk_write(100 * MIB, sequential=True)
+            times["seq"] = env.now
+            start = env.now
+            yield node.disk_read(100 * MIB, sequential=False)
+            times["rand"] = env.now - start
+
+        env.process(proc())
+        env.run()
+        assert times["seq"] == pytest.approx(1.0)
+        assert times["rand"] == pytest.approx(1.0 + 5e-3)
+
+    def test_cross_node_send_charges_both_nics(self):
+        env = Environment()
+        cluster = Cluster.homogeneous(env, small_spec(), 2)
+        a, b = cluster.node_ids
+        done_at = []
+
+        def proc():
+            yield cluster.send(a, b, 125 * MIB)  # 1s at 125 MiB/s
+            done_at.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done_at[0] == pytest.approx(1.0, rel=0.01)
+        assert cluster.node(a).nic_out.bytes_served == 125 * MIB
+        assert cluster.node(b).nic_in.bytes_served == 125 * MIB
+        assert cluster.network_bytes_sent == 125 * MIB
+
+    def test_same_node_send_is_free(self):
+        env = Environment()
+        cluster = Cluster.homogeneous(env, small_spec(), 1)
+        node_id = cluster.node_ids[0]
+        done_at = []
+
+        def proc():
+            yield cluster.send(node_id, node_id, 10 * GIB)
+            done_at.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done_at == [0.0]
+        assert cluster.network_bytes_sent == 0
+
+    def test_send_to_dead_node_fails(self):
+        env = Environment()
+        cluster = Cluster.homogeneous(env, small_spec(), 2)
+        a, b = cluster.node_ids
+        cluster.node(b).fail()
+        errors = []
+
+        def proc():
+            try:
+                yield cluster.send(a, b, 1000)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(type(exc).__name__)
+
+        env.process(proc())
+        env.run()
+        assert errors == ["NodeFailure"]
+
+
+class TestFailureLifecycle:
+    def test_fail_notifies_listeners_and_restart_bumps_incarnation(self):
+        env = Environment()
+        cluster = Cluster.homogeneous(env, small_spec(), 1)
+        node = cluster.nodes[0]
+        events = []
+        node.on_death(lambda n: events.append(("dead", n.incarnation)))
+        node.on_restart(lambda n: events.append(("up", n.incarnation)))
+        node.fail()
+        node.fail()  # idempotent
+        node.restart()
+        node.restart()  # idempotent
+        assert events == [("dead", 0), ("up", 1)]
+
+    def test_injector_kills_and_restarts_on_schedule(self):
+        env = Environment()
+        cluster = Cluster.homogeneous(env, small_spec(), 4)
+        injector = FailureInjector(
+            cluster, [FailurePlan(at_time=30.0, downtime=5.0, node_index=2)]
+        )
+        victim = cluster.nodes[2]
+        env.run(until=29.9)
+        assert victim.alive
+        env.run(until=30.1)
+        assert not victim.alive
+        env.run(until=35.1)
+        assert victim.alive
+        assert injector.injected == [(30.0, victim.node_id)]
+
+    def test_injector_random_victim_never_node_zero(self):
+        env = Environment()
+        cluster = Cluster.homogeneous(env, small_spec(), 5)
+        for seed in range(20):
+            plan = FailurePlan(at_time=1.0, seed=seed)
+            injector = FailureInjector(cluster.__class__(env, cluster.spec), [plan])
+            index = injector._choose_victim_index(plan)
+            assert 1 <= index < 5
+
+    def test_injector_rejects_bad_index(self):
+        env = Environment()
+        cluster = Cluster.homogeneous(env, small_spec(), 2)
+        with pytest.raises(ValueError):
+            FailureInjector(cluster, [FailurePlan(at_time=1.0, node_index=7)])
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            FailurePlan(at_time=-1.0)
+        with pytest.raises(ValueError):
+            FailurePlan(at_time=0.0, downtime=-1.0)

@@ -1,0 +1,57 @@
+"""The Dask-style backend: GIL, copies, and OOM behaviour (Fig 6)."""
+
+import pytest
+
+from repro.baselines.dask import DaskConfig, run_dask_sort
+from repro.common.units import GB
+
+
+def test_sort_completes_in_processes_mode():
+    config = DaskConfig(processes=8, threads_per_process=1, total_memory_bytes=64 * GB)
+    result = run_dask_sort(config, data_bytes=4 * GB, num_partitions=32)
+    assert not result.oom
+    assert result.seconds > 0
+
+
+def test_threads_mode_gil_slows_compute():
+    """Same cores, threads vs processes: GIL serialisation costs ~3x."""
+    threads = DaskConfig(processes=1, threads_per_process=32)
+    procs = DaskConfig(processes=32, threads_per_process=1)
+    t_threads = run_dask_sort(threads, data_bytes=8 * GB, num_partitions=64)
+    t_procs = run_dask_sort(procs, data_bytes=8 * GB, num_partitions=64)
+    assert not t_threads.oom and not t_procs.oom
+    assert t_threads.seconds > 2.0 * t_procs.seconds
+
+
+def test_threads_mode_copies_nothing():
+    threads = DaskConfig(processes=1, threads_per_process=16)
+    result = run_dask_sort(threads, data_bytes=2 * GB, num_partitions=16)
+    assert result.copied_bytes == 0
+
+
+def test_processes_mode_copies_cross_worker_blocks():
+    procs = DaskConfig(processes=8, threads_per_process=1)
+    result = run_dask_sort(procs, data_bytes=8 * GB, num_partitions=32)
+    # 7/8 of each reducer's input is remote.
+    assert result.copied_bytes >= 0.7 * 8 * GB
+
+
+def test_processes_mode_ooms_on_large_data():
+    """The Fig 6 failure: copies push per-process heaps over the limit."""
+    procs = DaskConfig(
+        processes=32, threads_per_process=1, total_memory_bytes=244 * GB
+    )
+    small = run_dask_sort(procs, data_bytes=40 * GB, num_partitions=100)
+    big = run_dask_sort(procs, data_bytes=200 * GB, num_partitions=100)
+    assert not small.oom
+    assert big.oom
+    assert big.seconds is None
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DaskConfig(processes=0)
+    with pytest.raises(ValueError):
+        DaskConfig(gil_serial_fraction=1.5)
+    with pytest.raises(ValueError):
+        DaskConfig(total_memory_bytes=0)

@@ -1,0 +1,218 @@
+"""The distributed DataFrame layer: blocks, operators, shuffle-backed ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import seeded_rng
+from repro.dataframe import DistributedFrame, FrameBlock
+
+from tests.conftest import make_runtime
+
+
+def sample_block(n=100, seed=0):
+    rng = seeded_rng(seed, "frame")
+    return FrameBlock(
+        {
+            "k": rng.integers(0, 10, size=n),
+            "v": rng.normal(size=n),
+            "w": rng.integers(0, 1000, size=n),
+        }
+    )
+
+
+class TestFrameBlock:
+    def test_shape_and_access(self):
+        block = sample_block(50)
+        assert block.num_rows == 50
+        assert set(block.column_names) == {"k", "v", "w"}
+        assert len(block["v"]) == 50
+        assert block.size_bytes > 0
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            FrameBlock({"a": np.arange(3), "b": np.arange(4)})
+        with pytest.raises(ValueError):
+            FrameBlock({})
+
+    def test_take_filter_sort(self):
+        block = sample_block(30)
+        taken = block.take(np.array([2, 0, 1]))
+        assert taken.num_rows == 3
+        filtered = block.filter_rows(block["k"] > 5)
+        assert (filtered["k"] > 5).all()
+        ordered = block.sort_by("w")
+        assert (np.diff(ordered["w"]) >= 0).all()
+
+    def test_with_column(self):
+        block = sample_block(10)
+        doubled = block.with_column("v2", block["v"] * 2)
+        assert np.allclose(doubled["v2"], block["v"] * 2)
+        with pytest.raises(ValueError):
+            block.with_column("bad", np.arange(3))
+
+    def test_range_partition_covers_rows(self):
+        block = sample_block(200)
+        pieces = block.range_partition("w", [250, 500, 750])
+        assert sum(p.num_rows for p in pieces) == 200
+        for i, piece in enumerate(pieces):
+            if piece.num_rows:
+                assert piece["w"].min() >= [0, 250, 500, 750][i]
+
+    def test_hash_partition_is_deterministic_and_total(self):
+        block = sample_block(300)
+        a = block.hash_partition("k", 4)
+        b = block.hash_partition("k", 4)
+        assert sum(p.num_rows for p in a) == 300
+        for pa, pb in zip(a, b):
+            assert (pa["k"] == pb["k"]).all()
+        # Same key never lands in two buckets.
+        seen = {}
+        for i, piece in enumerate(a):
+            for key in np.unique(piece["k"]):
+                assert seen.setdefault(int(key), i) == i
+
+    def test_concat_schema_checked(self):
+        block = sample_block(5)
+        other = FrameBlock({"x": np.arange(5)})
+        with pytest.raises(ValueError):
+            FrameBlock.concat([block, other])
+
+    def test_groupby_agg_matches_reference(self):
+        block = sample_block(500)
+        out = block.groupby_agg("k", {"v": "sum", "w": "min"})
+        for i, key in enumerate(out["k"]):
+            mask = block["k"] == key
+            assert out["v_sum"][i] == pytest.approx(block["v"][mask].sum())
+            assert out["w_min"][i] == block["w"][mask].min()
+
+    def test_groupby_count_and_empty(self):
+        block = sample_block(100)
+        counted = block.groupby_agg("k", {"v": "count"})
+        assert counted["v_count"].sum() == 100
+        empty = block.take(np.array([], dtype=int))
+        out = empty.groupby_agg("k", {"v": "sum"})
+        assert out.num_rows == 0
+
+    def test_groupby_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            sample_block().groupby_agg("k", {"v": "median"})
+
+
+class TestDistributedFrame:
+    def _frame(self, rt, n=1000, parts=8, seed=1):
+        rng = seeded_rng(seed, "dist")
+        data = {
+            "k": rng.integers(0, 20, size=n),
+            "v": rng.normal(size=n),
+        }
+        frame = rt.run(
+            lambda: DistributedFrame.from_arrays(rt, data, parts)
+        )
+        return frame, data
+
+    def test_round_trip_preserves_rows(self):
+        rt = make_runtime(num_nodes=3)
+        frame, data = self._frame(rt)
+        assert rt.run(frame.count) == 1000
+        collected = rt.run(frame.collect)
+        assert np.allclose(np.sort(collected["v"]), np.sort(data["v"]))
+
+    def test_filter_and_with_column(self):
+        rt = make_runtime(num_nodes=2)
+        frame, data = self._frame(rt)
+
+        def driver():
+            positive = frame.filter("v", lambda v: v > 0)
+            squared = positive.with_column("v2", lambda b: b["v"] ** 2)
+            return squared.collect()
+
+        out = rt.run(driver)
+        assert (out["v"] > 0).all()
+        assert np.allclose(out["v2"], out["v"] ** 2)
+
+    def test_sort_values_globally_sorted(self):
+        rt = make_runtime(num_nodes=3)
+        frame, data = self._frame(rt, n=2000, parts=10)
+
+        def driver():
+            by_v = frame.sort_values("v")
+            return rt.get(by_v.partitions)
+
+        pieces = rt.run(driver)
+        glued = np.concatenate([p["v"] for p in pieces])
+        assert (np.diff(glued) >= 0).all()
+        assert np.allclose(np.sort(data["v"]), glued)
+
+    def test_groupby_sum_matches_reference(self):
+        rt = make_runtime(num_nodes=3)
+        frame, data = self._frame(rt, n=3000, parts=6)
+
+        def driver():
+            out = frame.groupby_agg("k", {"v": "sum"})
+            return out.collect().sort_by("k")
+
+        result = rt.run(driver)
+        for i, key in enumerate(result["k"]):
+            expected = data["v"][data["k"] == key].sum()
+            assert result["v_sum"][i] == pytest.approx(expected)
+
+    def test_groupby_mean_and_count(self):
+        rt = make_runtime(num_nodes=2)
+        frame, data = self._frame(rt, n=1500, parts=5)
+
+        def driver():
+            out = frame.groupby_agg("k", {"v": "mean"})
+            return out.collect().sort_by("k")
+
+        result = rt.run(driver)
+        for i, key in enumerate(result["k"]):
+            expected = data["v"][data["k"] == key].mean()
+            assert result["v_mean"][i] == pytest.approx(expected)
+
+    def test_repartition_conserves_rows(self):
+        rt = make_runtime(num_nodes=2)
+        frame, _ = self._frame(rt, n=900, parts=3)
+
+        def driver():
+            wide = frame.repartition(9)
+            assert wide.num_partitions == 9
+            return wide.count()
+
+        assert rt.run(driver) == 900
+
+    def test_head(self):
+        rt = make_runtime(num_nodes=2)
+        frame, _ = self._frame(rt)
+        head = rt.run(lambda: frame.head(5))
+        assert head.num_rows == 5
+
+    def test_empty_partitions_rejected(self):
+        rt = make_runtime(num_nodes=1)
+        with pytest.raises(ValueError):
+            DistributedFrame(rt, [], ["a"])
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=400),
+    parts=st.integers(min_value=1, max_value=6),
+    cardinality=st.integers(min_value=1, max_value=15),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_property_distributed_groupby_equals_local(n, parts, cardinality, seed):
+    rng = seeded_rng(seed, "prop")
+    data = {
+        "k": rng.integers(0, cardinality, size=n),
+        "v": rng.normal(size=n),
+    }
+    rt = make_runtime(num_nodes=2)
+
+    def driver():
+        frame = DistributedFrame.from_arrays(rt, data, parts)
+        return frame.groupby_agg("k", {"v": "sum"}).collect().sort_by("k")
+
+    result = rt.run(driver)
+    reference = FrameBlock(data).groupby_agg("k", {"v": "sum"})
+    assert (result["k"] == reference["k"]).all()
+    assert np.allclose(result["v_sum"], reference["v_sum"])

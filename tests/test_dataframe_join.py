@@ -1,0 +1,154 @@
+"""Distributed and block-level joins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import seeded_rng
+from repro.dataframe import DistributedFrame, FrameBlock
+
+from tests.conftest import make_runtime
+
+
+class TestBlockJoin:
+    def test_inner_join_basic(self):
+        left = FrameBlock({"k": np.array([1, 2, 3]), "a": np.array([10, 20, 30])})
+        right = FrameBlock({"k": np.array([2, 3, 4]), "b": np.array([200, 300, 400])})
+        out = left.join(right, "k")
+        assert sorted(out["k"].tolist()) == [2, 3]
+        row2 = np.flatnonzero(out["k"] == 2)[0]
+        assert out["a"][row2] == 20 and out["b"][row2] == 200
+
+    def test_join_multiplicity(self):
+        left = FrameBlock({"k": np.array([1, 1]), "a": np.array([5, 6])})
+        right = FrameBlock({"k": np.array([1, 1, 1]), "b": np.array([7, 8, 9])})
+        out = left.join(right, "k")
+        assert out.num_rows == 6  # 2 x 3 pairs
+
+    def test_join_no_matches(self):
+        left = FrameBlock({"k": np.array([1]), "a": np.array([5])})
+        right = FrameBlock({"k": np.array([2]), "b": np.array([7])})
+        assert left.join(right, "k").num_rows == 0
+
+    def test_join_column_collision_gets_suffix(self):
+        left = FrameBlock({"k": np.array([1]), "v": np.array([5])})
+        right = FrameBlock({"k": np.array([1]), "v": np.array([7])})
+        out = left.join(right, "k")
+        assert out["v"][0] == 5
+        assert out["v_right"][0] == 7
+
+
+class TestDistributedJoin:
+    def test_join_matches_reference(self):
+        rng = seeded_rng(11, "join")
+        left_data = {
+            "k": rng.integers(0, 30, size=500),
+            "a": rng.normal(size=500),
+        }
+        right_data = {
+            "k": np.arange(30),
+            "b": rng.normal(size=30),
+        }
+        rt = make_runtime(num_nodes=3)
+
+        def driver():
+            left = DistributedFrame.from_arrays(rt, left_data, 6)
+            right = DistributedFrame.from_arrays(rt, right_data, 3)
+            joined = left.join(right, "k")
+            return joined.collect()
+
+        out = rt.run(driver)
+        # every left row matched exactly one right row
+        assert out.num_rows == 500
+        lookup = {int(k): v for k, v in zip(right_data["k"], right_data["b"])}
+        for k, b in zip(out["k"], out["b"]):
+            assert b == pytest.approx(lookup[int(k)])
+
+    def test_join_requires_shared_runtime(self):
+        rt_a = make_runtime(num_nodes=1)
+        rt_b = make_runtime(num_nodes=1)
+        fa = rt_a.run(
+            lambda: DistributedFrame.from_arrays(rt_a, {"k": np.arange(4)}, 2)
+        )
+        fb = rt_b.run(
+            lambda: DistributedFrame.from_arrays(rt_b, {"k": np.arange(4)}, 2)
+        )
+        with pytest.raises(ValueError):
+            fa.join(fb, "k")
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_left=st.integers(min_value=1, max_value=150),
+    n_right=st.integers(min_value=1, max_value=150),
+    cardinality=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_join_row_count_matches_pair_count(
+    n_left, n_right, cardinality, seed
+):
+    rng = seeded_rng(seed, "jprop")
+    left_keys = rng.integers(0, cardinality, size=n_left)
+    right_keys = rng.integers(0, cardinality, size=n_right)
+    expected_pairs = sum(
+        int((left_keys == k).sum()) * int((right_keys == k).sum())
+        for k in range(cardinality)
+    )
+    rt = make_runtime(num_nodes=2)
+
+    def driver():
+        left = DistributedFrame.from_arrays(
+            rt, {"k": left_keys, "a": rng.normal(size=n_left)}, 3
+        )
+        right = DistributedFrame.from_arrays(
+            rt, {"k": right_keys, "b": rng.normal(size=n_right)}, 2
+        )
+        return left.join(right, "k").count()
+
+    assert rt.run(driver) == expected_pairs
+
+
+class TestBroadcastJoin:
+    def test_broadcast_matches_shuffle_join(self):
+        rng = seeded_rng(21, "bj")
+        left_data = {
+            "k": rng.integers(0, 12, size=300),
+            "a": rng.normal(size=300),
+        }
+        right_data = {"k": np.arange(12), "b": rng.normal(size=12)}
+        rt = make_runtime(num_nodes=2)
+
+        def driver():
+            left = DistributedFrame.from_arrays(rt, left_data, 4)
+            right = DistributedFrame.from_arrays(rt, right_data, 2)
+            shuffled = left.join(right, "k").collect().sort_by("a")
+            broadcasted = (
+                left.join(right, "k", broadcast=True).collect().sort_by("a")
+            )
+            return shuffled, broadcasted
+
+        shuffled, broadcasted = rt.run(driver)
+        assert shuffled.num_rows == broadcasted.num_rows == 300
+        assert np.allclose(shuffled["b"], broadcasted["b"])
+
+    def test_broadcast_join_moves_less_for_small_right(self):
+        rng = seeded_rng(22, "bj2")
+        left_data = {
+            "k": rng.integers(0, 8, size=4000),
+            "a": rng.normal(size=4000),
+        }
+        right_data = {"k": np.arange(8), "b": rng.normal(size=8)}
+
+        def run(broadcast):
+            rt = make_runtime(num_nodes=3)
+
+            def driver():
+                left = DistributedFrame.from_arrays(rt, left_data, 6)
+                right = DistributedFrame.from_arrays(rt, right_data, 2)
+                out = left.join(right, "k", broadcast=broadcast)
+                out.count()
+                return rt.cluster.network_bytes_sent
+
+            return rt.run(driver)
+
+        assert run(True) < run(False)

@@ -1,0 +1,142 @@
+"""Direct unit tests for the object directory."""
+
+import pytest
+
+from repro.common.ids import NodeId, ObjectId, TaskId
+from repro.futures.directory import ObjectDirectory
+
+
+def make_directory(zeroed):
+    return ObjectDirectory(on_refcount_zero=zeroed.append)
+
+
+class TestLifecycle:
+    def test_register_and_create(self):
+        zeroed = []
+        d = make_directory(zeroed)
+        oid = ObjectId(1)
+        d.register(oid, creator=TaskId(7))
+        assert not d.is_created(oid)
+        d.mark_created(oid, size=100)
+        assert d.is_created(oid)
+        assert d.get(oid).size == 100
+        assert d.get(oid).creator == TaskId(7)
+
+    def test_double_register_rejected(self):
+        d = make_directory([])
+        d.register(ObjectId(1), None)
+        with pytest.raises(ValueError):
+            d.register(ObjectId(1), None)
+
+    def test_drop_forgets_everything(self):
+        d = make_directory([])
+        oid = ObjectId(2)
+        d.register(oid, None)
+        d.drop(oid)
+        assert oid not in d
+        assert d.maybe_get(oid) is None
+        d.drop(oid)  # idempotent
+
+    def test_mark_created_on_missing_record_is_noop(self):
+        d = make_directory([])
+        d.mark_created(ObjectId(9), 10)  # must not raise
+
+
+class TestReadiness:
+    def test_on_ready_fires_immediately_when_created(self):
+        d = make_directory([])
+        oid = ObjectId(1)
+        d.register(oid, None)
+        d.mark_created(oid, 1)
+        seen = []
+        d.on_ready(oid, lambda o, e: seen.append((o, e)))
+        assert seen == [(oid, None)]
+
+    def test_on_ready_deferred_until_creation(self):
+        d = make_directory([])
+        oid = ObjectId(1)
+        d.register(oid, None)
+        seen = []
+        d.on_ready(oid, lambda o, e: seen.append(e))
+        assert seen == []
+        d.mark_created(oid, 1)
+        assert seen == [None]
+
+    def test_on_ready_with_failure(self):
+        d = make_directory([])
+        oid = ObjectId(1)
+        d.register(oid, None)
+        seen = []
+        d.on_ready(oid, lambda o, e: seen.append(e))
+        error = RuntimeError("task died")
+        d.mark_failed(oid, error)
+        assert seen == [error]
+        # Later subscribers observe the stored error immediately.
+        late = []
+        d.on_ready(oid, lambda o, e: late.append(e))
+        assert late == [error]
+
+    def test_recreation_after_mark_uncreated_refires(self):
+        d = make_directory([])
+        oid = ObjectId(1)
+        d.register(oid, None)
+        d.mark_created(oid, 1)
+        d.mark_uncreated(oid)
+        seen = []
+        d.on_ready(oid, lambda o, e: seen.append(e))
+        assert seen == []
+        d.mark_created(oid, 1)
+        assert seen == [None]
+
+
+class TestLocations:
+    def test_memory_and_spill_tracking(self):
+        d = make_directory([])
+        oid = ObjectId(3)
+        d.register(oid, None)
+        d.mark_created(oid, 10)
+        d.add_memory_location(oid, NodeId(0))
+        d.add_spill_location(oid, NodeId(1), slot="slot")
+        assert d.locations(oid) == {NodeId(0), NodeId(1)}
+        assert d.is_available(oid)
+        d.remove_memory_location(oid, NodeId(0))
+        d.remove_spill_location(oid, NodeId(1))
+        assert not d.is_available(oid)
+        assert d.get(oid).lost
+
+    def test_location_updates_on_missing_records_are_noops(self):
+        d = make_directory([])
+        d.add_memory_location(ObjectId(8), NodeId(0))
+        d.remove_memory_location(ObjectId(8), NodeId(0))
+        d.add_spill_location(ObjectId(8), NodeId(0), None)
+        d.remove_spill_location(ObjectId(8), NodeId(0))
+
+    def test_lost_objects_query(self):
+        d = make_directory([])
+        alive, lost = ObjectId(1), ObjectId(2)
+        for oid in (alive, lost):
+            d.register(oid, None)
+            d.mark_created(oid, 1)
+        d.add_memory_location(alive, NodeId(0))
+        assert d.lost_objects() == [lost]
+
+
+class TestRefcounting:
+    def test_zero_callback_fires_once_reaching_zero(self):
+        zeroed = []
+        d = make_directory(zeroed)
+        oid = ObjectId(1)
+        d.register(oid, None)
+        d.incref(oid)
+        d.incref(oid)
+        d.decref(oid)
+        assert zeroed == []
+        d.decref(oid)
+        assert zeroed == [oid]
+
+    def test_refcounting_missing_records_is_safe(self):
+        zeroed = []
+        d = make_directory(zeroed)
+        d.incref(ObjectId(5))
+        d.decref(ObjectId(5))
+        assert zeroed == []

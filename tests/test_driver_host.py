@@ -1,0 +1,78 @@
+"""The driver/simulation handoff: misuse, deadlocks, sequential runs."""
+
+import pytest
+
+from repro.futures.driver import DriverError, DriverHost
+from repro.simcore import Environment
+
+from tests.conftest import make_runtime
+
+
+class TestDriverHost:
+    def test_result_and_time_flow(self):
+        env = Environment()
+        host = DriverHost(env)
+
+        def driver():
+            host.block_on(env.timeout(5.0, value="woke"))
+            return env.now
+
+        assert host.run(driver) == 5.0
+
+    def test_block_on_returns_event_value(self):
+        env = Environment()
+        host = DriverHost(env)
+
+        def driver():
+            return host.block_on(env.timeout(1.0, value=123))
+
+        assert host.run(driver) == 123
+
+    def test_failed_event_raises_in_driver(self):
+        env = Environment()
+        host = DriverHost(env)
+        gate = env.event()
+        env.call_later(1.0, lambda: gate.fail(ValueError("nope")))
+
+        def driver():
+            with pytest.raises(ValueError, match="nope"):
+                host.block_on(gate)
+            return "survived"
+
+        assert host.run(driver) == "survived"
+
+    def test_deadlock_reported(self):
+        env = Environment()
+        host = DriverHost(env)
+        never = env.event()
+
+        def driver():
+            host.block_on(never)
+
+        with pytest.raises(DriverError, match="deadlock"):
+            host.run(driver)
+
+    def test_block_on_outside_driver_rejected(self):
+        env = Environment()
+        host = DriverHost(env)
+        with pytest.raises(DriverError):
+            host.block_on(env.timeout(1.0))
+
+    def test_sequential_runs_reuse_host(self):
+        rt = make_runtime(num_nodes=1)
+        inc = rt.remote(lambda x: x + 1)
+        first = rt.run(lambda: rt.get(inc.remote(1)))
+        second = rt.run(lambda: rt.get(inc.remote(first)))
+        assert (first, second) == (2, 3)
+        # simulated time accumulates across runs
+        assert rt.now > 0
+
+    def test_driver_exception_cleans_up_for_next_run(self):
+        rt = make_runtime(num_nodes=1)
+
+        def bad():
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            rt.run(bad)
+        assert rt.run(lambda: "fine") == "fine"

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script parses, documents itself, and the
+fast ones run end to end."""
+
+import ast
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 5  # the deliverable floor, with margin
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_with_docstring_and_main(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} missing a docstring"
+    names = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in names, f"{path.name} missing main()"
+
+
+def test_quickstart_runs_end_to_end():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "sum of squares" in proc.stdout
+    assert "top words" in proc.stdout
+
+
+def test_fault_tolerance_example_runs_end_to_end():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "fault_tolerance.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "recovery overhead" in proc.stdout
+    assert "validated=True" in proc.stdout

@@ -1,0 +1,58 @@
+"""Fault recovery across every shuffle variant.
+
+The paper (§5.1.5) could only demonstrate recovery for the push variants:
+"For ES-simple and -merge, a known bug in Ray currently prevents fault
+recovery from completing."  Our data plane has no such bug, so the
+reproduction goes further than the original here: every variant recovers
+from a mid-job node failure with validated output.
+"""
+
+import pytest
+
+from repro.cluster import FailurePlan
+from repro.common.units import MB
+from repro.futures import RuntimeConfig
+from repro.sort import SortJobConfig, VARIANTS, run_sort
+
+from tests.conftest import make_runtime
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_variant_recovers_from_node_failure(variant):
+    rt = make_runtime(
+        num_nodes=4,
+        store_mib=512,
+        config=RuntimeConfig(failure_detection_s=3.0),
+    )
+    config = SortJobConfig(
+        variant=variant,
+        num_partitions=8,
+        partition_bytes=20 * MB,
+        virtual=True,
+        failures=[FailurePlan(at_time=0.5, downtime=6.0, node_index=2)],
+    )
+    result = run_sort(rt, config)
+    assert result.validated
+    assert rt.counters.get("node_failures") == 1
+
+
+@pytest.mark.parametrize("variant", ["simple", "push*"])
+def test_variant_recovers_from_two_failures(variant):
+    rt = make_runtime(
+        num_nodes=5,
+        store_mib=512,
+        config=RuntimeConfig(failure_detection_s=2.0),
+    )
+    config = SortJobConfig(
+        variant=variant,
+        num_partitions=10,
+        partition_bytes=60 * MB,  # long enough to straddle both failures
+        virtual=True,
+        failures=[
+            FailurePlan(at_time=0.5, downtime=5.0, node_index=1),
+            FailurePlan(at_time=2.0, downtime=5.0, node_index=3),
+        ],
+    )
+    result = run_sort(rt, config)
+    assert result.validated
+    assert rt.counters.get("node_failures") == 2

@@ -1,0 +1,297 @@
+"""End-to-end behaviour of the distributed-futures runtime: submission,
+get/wait/put, multiple returns, generators, and error propagation."""
+
+import pytest
+
+from repro.common.errors import TaskExecutionError
+from repro.futures import Runtime, RuntimeConfig
+
+from tests.conftest import make_runtime
+
+
+def test_single_task_round_trip(rt):
+    double = rt.remote(lambda x: 2 * x)
+
+    def driver():
+        return rt.get(double.remote(21))
+
+    assert rt.run(driver) == 42
+    assert rt.now > 0  # task overhead and compute took simulated time
+
+
+def test_task_chaining_passes_values_by_ref(rt):
+    inc = rt.remote(lambda x: x + 1)
+
+    def driver():
+        ref = inc.remote(0)
+        for _ in range(4):
+            ref = inc.remote(ref)
+        return rt.get(ref)
+
+    assert rt.run(driver) == 5
+
+
+def test_get_list_preserves_order(rt):
+    ident = rt.remote(lambda x: x)
+
+    def driver():
+        refs = [ident.remote(i) for i in range(10)]
+        return rt.get(refs)
+
+    assert rt.run(driver) == list(range(10))
+
+
+def test_parallel_tasks_share_cores():
+    """Four 1-second tasks on 2 cores take ~2 seconds, not 4."""
+    rt = make_runtime(num_nodes=1, cores=2)
+    work = rt.remote(lambda: None).options(compute=1.0)
+
+    def driver():
+        return rt.get([work.remote() for _ in range(4)])
+
+    rt.run(driver)
+    assert 2.0 <= rt.now < 2.5
+
+
+def test_multiple_returns(rt):
+    split = rt.remote(lambda: (1, 2, 3)).options(num_returns=3)
+
+    def driver():
+        refs = split.remote()
+        assert isinstance(refs, list) and len(refs) == 3
+        return rt.get(refs)
+
+    assert rt.run(driver) == [1, 2, 3]
+
+
+def test_wrong_number_of_returns_fails_task(rt):
+    bad = rt.remote(lambda: (1, 2)).options(num_returns=3)
+
+    def driver():
+        return rt.get(bad.remote())
+
+    with pytest.raises(TaskExecutionError):
+        rt.run(driver)
+
+
+def test_generator_task_yields_each_return(rt):
+    def gen(n):
+        for i in range(n):
+            yield i * i
+
+    squares = rt.remote(gen).options(num_returns=4)
+
+    def driver():
+        return rt.get(squares.remote(4))
+
+    assert rt.run(driver) == [0, 1, 4, 9]
+
+
+def test_generator_yielding_too_few_fails(rt):
+    def gen():
+        yield 1
+
+    bad = rt.remote(gen).options(num_returns=2)
+
+    def driver():
+        return rt.get(bad.remote())
+
+    with pytest.raises(TaskExecutionError):
+        rt.run(driver)
+
+
+def test_task_exception_propagates_to_get(rt):
+    def boom():
+        raise ValueError("kaput")
+
+    bad = rt.remote(boom)
+
+    def driver():
+        return rt.get(bad.remote())
+
+    with pytest.raises(TaskExecutionError) as excinfo:
+        rt.run(driver)
+    assert isinstance(excinfo.value.cause, ValueError)
+
+
+def test_error_propagates_through_dependents(rt):
+    def boom():
+        raise KeyError("lost")
+
+    bad = rt.remote(boom)
+    consume = rt.remote(lambda x: x)
+
+    def driver():
+        return rt.get(consume.remote(bad.remote()))
+
+    with pytest.raises(TaskExecutionError):
+        rt.run(driver)
+
+
+def test_put_and_get(rt):
+    def driver():
+        ref = rt.put({"a": 1})
+        return rt.get(ref)
+
+    assert rt.run(driver) == {"a": 1}
+
+
+def test_wait_returns_ready_and_pending(rt):
+    fast = rt.remote(lambda: "fast").options(compute=0.1)
+    slow = rt.remote(lambda: "slow").options(compute=50.0)
+
+    def driver():
+        refs = [slow.remote(), fast.remote()]
+        ready, not_ready = rt.wait(refs, num_returns=1)
+        assert len(ready) == 1 and len(not_ready) == 1
+        assert rt.get(ready[0]) == "fast"
+        ready_all, rest = rt.wait(refs, num_returns=2)
+        assert len(ready_all) == 2 and not rest
+        return True
+
+    assert rt.run(driver)
+
+
+def test_wait_timeout_expires(rt):
+    slow = rt.remote(lambda: 1).options(compute=100.0)
+
+    def driver():
+        before = rt.timestamp()
+        ready, not_ready = rt.wait([slow.remote()], num_returns=1, timeout=5.0)
+        assert rt.timestamp() - before == pytest.approx(5.0)
+        return (len(ready), len(not_ready))
+
+    assert rt.run(driver) == (0, 1)
+
+
+def test_wait_num_returns_validation(rt):
+    ref_holder = {}
+
+    def driver():
+        ref_holder["r"] = rt.put(1)
+        with pytest.raises(ValueError):
+            rt.wait([ref_holder["r"]], num_returns=2)
+        return True
+
+    assert rt.run(driver)
+
+
+def test_sleep_advances_simulated_time(rt):
+    def driver():
+        t0 = rt.timestamp()
+        rt.sleep(12.5)
+        return rt.timestamp() - t0
+
+    assert rt.run(driver) == pytest.approx(12.5)
+
+
+def test_remote_decorator_form(rt):
+    @rt.remote(num_returns=2)
+    def pair(x):
+        return x, x + 1
+
+    def driver():
+        return rt.get(pair.remote(5))
+
+    assert rt.run(driver) == [5, 6]
+
+
+def test_remote_function_not_directly_callable(rt):
+    fn = rt.remote(lambda: 1)
+    with pytest.raises(TypeError):
+        fn()
+
+
+def test_nested_refs_rejected(rt):
+    ident = rt.remote(lambda x: x)
+
+    def driver():
+        ref = ident.remote(1)
+        with pytest.raises(TypeError):
+            ident.remote([ref])
+        return True
+
+    assert rt.run(driver)
+
+
+def test_blocking_api_outside_driver_rejected(rt):
+    ident = rt.remote(lambda x: x)
+    ref = None
+
+    def driver():
+        return ident.remote(1)
+
+    ref = rt.run(driver)
+    from repro.futures.driver import DriverError
+
+    with pytest.raises(DriverError):
+        rt.get(ref)
+
+
+def test_driver_exception_propagates(rt):
+    def driver():
+        raise RuntimeError("driver bug")
+
+    with pytest.raises(RuntimeError, match="driver bug"):
+        rt.run(driver)
+
+
+def test_compute_cost_callable_receives_context(rt):
+    seen = {}
+
+    def cost(ctx):
+        seen["num_returns"] = ctx.num_returns
+        return 3.0
+
+    work = rt.remote(lambda: (1, 2)).options(num_returns=2, compute=cost)
+
+    def driver():
+        return rt.get(work.remote())
+
+    rt.run(driver)
+    assert seen["num_returns"] == 2
+    assert rt.now >= 3.0
+
+
+def test_default_compute_cost_scales_with_bytes():
+    rt = make_runtime(num_nodes=1)
+    import numpy as np
+
+    big = rt.remote(lambda: np.zeros(50_000_000, dtype=np.uint8))
+    small = rt.remote(lambda: np.zeros(1000, dtype=np.uint8))
+
+    def driver():
+        t0 = rt.timestamp()
+        rt.get(big.remote())
+        t_big = rt.timestamp() - t0
+        t0 = rt.timestamp()
+        rt.get(small.remote())
+        t_small = rt.timestamp() - t0
+        return t_big, t_small
+
+    t_big, t_small = rt.run(driver)
+    assert t_big > 10 * t_small
+
+
+def test_task_counters(rt):
+    ident = rt.remote(lambda x: x)
+
+    def driver():
+        return rt.get([ident.remote(i) for i in range(5)])
+
+    rt.run(driver)
+    assert rt.counters.get("tasks_submitted") == 5
+    assert rt.counters.get("tasks_finished") == 5
+    assert rt.counters.get("tasks_failed") == 0
+
+
+def test_stats_snapshot(rt):
+    ident = rt.remote(lambda x: x)
+
+    def driver():
+        return rt.get(ident.remote(1))
+
+    rt.run(driver)
+    stats = rt.stats()
+    assert stats["time"] == rt.now
+    assert "tasks_finished" in stats

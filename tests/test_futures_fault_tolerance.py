@@ -1,0 +1,204 @@
+"""Lineage reconstruction and failure handling (§4.2.3, §5.1.5)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ObjectLostError
+from repro.common.units import MB
+from repro.futures import RuntimeConfig
+
+from tests.conftest import make_runtime
+
+
+def _blob(mb):
+    return np.zeros(int(mb * MB), dtype=np.uint8)
+
+
+def _fast_detect(**kwargs):
+    return RuntimeConfig(failure_detection_s=2.0, **kwargs)
+
+
+class TestLineageReconstruction:
+    def test_lost_object_reconstructed_for_get(self):
+        rt = make_runtime(num_nodes=3, config=_fast_detect())
+        victim = rt.cluster.node_ids[1]
+        make = rt.remote(lambda: "precious").options(node=victim)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            rt.cluster.node(victim).fail()
+            value = rt.get(ref)  # must re-execute the task elsewhere
+            return value, rt.task_attempts(ref)
+
+        value, attempts = rt.run(driver)
+        assert value == "precious"
+        assert attempts == 2
+        assert rt.counters.get("tasks_resubmitted") >= 1
+
+    def test_reconstruction_is_transitive(self):
+        """Losing a chain of objects re-runs the whole upstream lineage."""
+        rt = make_runtime(num_nodes=3, config=_fast_detect())
+        victim = rt.cluster.node_ids[2]
+        base = rt.remote(lambda: 1).options(node=victim)
+        inc = rt.remote(lambda x: x + 1).options(node=victim)
+
+        def driver():
+            a = base.remote()
+            b = inc.remote(a)
+            c = inc.remote(b)
+            rt.wait([c], num_returns=1)
+            rt.cluster.node(victim).fail()
+            return rt.get(c)
+
+        assert rt.run(driver) == 3
+        assert rt.counters.get("tasks_resubmitted") >= 3
+
+    def test_running_tasks_on_dead_node_requeued(self):
+        rt = make_runtime(num_nodes=2, config=_fast_detect())
+        victim = rt.cluster.node_ids[1]
+        slow = rt.remote(lambda: "done").options(node=victim, compute=30.0)
+
+        def driver():
+            ref = slow.remote()
+            rt.sleep(5.0)  # task is mid-execution
+            rt.cluster.node(victim).fail()
+            return rt.get(ref)
+
+        assert rt.run(driver) == "done"
+        # Re-ran from scratch on the surviving node.
+        assert rt.now >= 30.0 + 5.0
+
+    def test_spilled_data_on_dead_node_is_lost_and_rebuilt(self):
+        rt = make_runtime(num_nodes=2, store_mib=32, config=_fast_detect())
+        victim = rt.cluster.node_ids[1]
+        make = rt.remote(lambda i: (i, _blob(16))).options(node=victim)
+
+        def driver():
+            refs = [make.remote(i) for i in range(6)]  # forces spilling
+            rt.wait(refs, num_returns=len(refs))
+            rt.cluster.node(victim).fail()
+            return [tag for tag, _ in rt.get(refs)]
+
+        assert rt.run(driver) == list(range(6))
+
+    def test_object_with_surviving_copy_needs_no_reconstruction(self):
+        """A copy fetched to another node keeps the object alive."""
+        rt = make_runtime(num_nodes=2, config=_fast_detect())
+        a, b = rt.cluster.node_ids
+        make = rt.remote(lambda: _blob(10)).options(node=b)
+        touch = rt.remote(lambda x: x.nbytes).options(node=a)
+
+        def driver():
+            src = make.remote()
+            rt.get(touch.remote(src))  # copies the object to node a
+            rt.cluster.node(b).fail()
+            rt.sleep(5.0)
+            return rt.get(touch.remote(src))
+
+        assert rt.run(driver) == 10 * MB
+        assert rt.counters.get("tasks_resubmitted") == 0
+
+    def test_reconstruction_disabled_raises_object_lost(self):
+        config = RuntimeConfig(
+            failure_detection_s=2.0, enable_lineage_reconstruction=False
+        )
+        rt = make_runtime(num_nodes=2, config=config)
+        victim = rt.cluster.node_ids[1]
+        make = rt.remote(lambda: 5).options(node=victim)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            rt.cluster.node(victim).fail()
+            rt.sleep(5.0)
+            with pytest.raises(ObjectLostError):
+                rt.get(ref)
+            return True
+
+        assert rt.run(driver)
+
+    def test_lost_put_object_is_unrecoverable(self):
+        """put() objects have no lineage; losing them is fatal for get."""
+        config = RuntimeConfig(failure_detection_s=2.0)
+        rt = make_runtime(num_nodes=2, config=config)
+
+        def driver():
+            ref = rt.put("unrecoverable")
+            rt.cluster.node(rt.driver_node_id).fail()
+            rt.sleep(5.0)
+            with pytest.raises(ObjectLostError):
+                rt.get(ref)
+            return True
+
+        assert rt.run(driver)
+
+    def test_failure_detection_delay_gates_recovery(self):
+        """Recovery cannot complete before the heartbeat timeout elapses."""
+        config = RuntimeConfig(failure_detection_s=20.0)
+        rt = make_runtime(num_nodes=2, config=config)
+        victim = rt.cluster.node_ids[1]
+        make = rt.remote(lambda: "v").options(node=victim, compute=0.1)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            fail_time = rt.timestamp()
+            rt.cluster.node(victim).fail()
+            value = rt.get(ref)
+            return rt.timestamp() - fail_time, value
+
+        recovery, value = rt.run(driver)
+        assert value == "v"
+        assert recovery >= 20.0
+
+    def test_node_restart_rejoins_cluster(self):
+        rt = make_runtime(num_nodes=2, config=_fast_detect())
+        victim = rt.cluster.node_ids[1]
+        pinned = rt.remote(lambda: "here").options(node=victim)
+
+        def driver():
+            rt.cluster.node(victim).fail()
+            rt.sleep(3.0)
+            rt.cluster.node(victim).restart()
+            return rt.get(pinned.remote())
+
+        assert rt.run(driver) == "here"
+
+    def test_double_failure_still_recovers(self):
+        rt = make_runtime(num_nodes=3, config=_fast_detect())
+        victim = rt.cluster.node_ids[1]
+        make = rt.remote(lambda: 99).options(node=victim)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            rt.cluster.node(victim).fail()
+            rt.sleep(1.0)
+            rt.cluster.node(victim).restart()
+            rt.sleep(1.0)
+            rt.cluster.node(victim).fail()
+            return rt.get(ref)
+
+        assert rt.run(driver) == 99
+
+
+class TestFailureDuringShuffleTraffic:
+    def test_consumer_survives_source_death_mid_job(self):
+        """Consumers fetching from a node that dies retry and recover."""
+        rt = make_runtime(num_nodes=3, config=_fast_detect())
+        victim = rt.cluster.node_ids[1]
+        sink_node = rt.cluster.node_ids[2]
+        make = rt.remote(lambda i: (i, _blob(20))).options(node=victim)
+        consume = rt.remote(lambda *blocks: sum(t for t, _ in blocks)).options(
+            node=sink_node
+        )
+
+        def driver():
+            srcs = [make.remote(i) for i in range(6)]
+            rt.wait(srcs, num_returns=len(srcs))
+            out = consume.remote(*srcs)
+            rt.cluster.node(victim).fail()
+            return rt.get(out)
+
+        assert rt.run(driver) == sum(range(6))

@@ -1,0 +1,295 @@
+"""Object store, spilling, write fusing, prefetching, and GC behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import MB, MIB
+from repro.futures import RuntimeConfig
+
+from tests.conftest import make_runtime
+
+
+def _blob(mb):
+    """A payload of ``mb`` megabytes."""
+    return np.zeros(int(mb * MB), dtype=np.uint8)
+
+
+class TestSpilling:
+    def test_overflow_spills_to_disk(self):
+        """Creating 3x the store capacity must spill, not fail."""
+        rt = make_runtime(num_nodes=1, store_mib=64)
+        make = rt.remote(lambda: _blob(16))
+
+        def driver():
+            refs = [make.remote() for _ in range(12)]  # 192 MB into 64 MiB
+            ready, _ = rt.wait(refs, num_returns=len(refs))
+            return len(ready)
+
+        assert rt.run(driver) == 12
+        assert rt.counters.get("spill_bytes_written") > 0
+        assert rt.counters.get("spill_files") > 0
+
+    def test_spilled_object_restored_for_get(self):
+        rt = make_runtime(num_nodes=1, store_mib=64)
+        make = rt.remote(lambda tag: (tag, _blob(16)))
+
+        def driver():
+            refs = [make.remote(i) for i in range(12)]
+            # Let everything finish (and spill) before reading back.
+            rt.wait(refs, num_returns=len(refs))
+            values = rt.get(refs)
+            return [tag for tag, _ in values]
+
+        assert rt.run(driver) == list(range(12))
+        assert rt.counters.get("spill_bytes_read") > 0
+
+    def test_fusing_batches_small_objects(self):
+        """With fusing, spilling N small objects makes few large files."""
+        config = RuntimeConfig(fuse_min_bytes=8 * MB)
+        rt = make_runtime(num_nodes=1, store_mib=16, config=config)
+        make = rt.remote(lambda: _blob(1))
+
+        def driver():
+            refs = [make.remote() for _ in range(64)]
+            rt.wait(refs, num_returns=len(refs))
+            return refs
+
+        rt.run(driver)
+        files = rt.counters.get("spill_files")
+        spilled = rt.counters.get("spill_bytes_written")
+        assert spilled > 0
+        assert files < spilled / (4 * MB)  # files are multi-object
+
+    def test_unfused_spill_is_slower_on_seeky_disk(self):
+        """Fig 7 mechanism: disabling fusing costs a seek per object."""
+
+        def run(fusing):
+            config = RuntimeConfig(enable_write_fusing=fusing)
+            rt = make_runtime(
+                num_nodes=1, store_mib=16, seek_ms=20.0, config=config
+            )
+            make = rt.remote(lambda: _blob(0.2))
+
+            def driver():
+                refs = [make.remote() for _ in range(200)]
+                rt.wait(refs, num_returns=len(refs))
+                return refs
+
+            rt.run(driver)
+            return rt.now
+
+        assert run(fusing=False) > 1.5 * run(fusing=True)
+
+    def test_single_giant_object_falls_back_to_disk(self):
+        """An object bigger than the store must not deadlock (§4.2.2
+        "falls back to allocating task output objects on the filesystem")."""
+        rt = make_runtime(num_nodes=1, store_mib=32)
+        make = rt.remote(lambda: _blob(64))
+
+        def driver():
+            ref = make.remote()
+            ready, _ = rt.wait([ref], num_returns=1)
+            return len(ready)
+
+        assert rt.run(driver) == 1
+        assert rt.counters.get("fallback_allocations") >= 1
+
+    def test_spilling_disabled_still_makes_progress(self):
+        config = RuntimeConfig(enable_spilling=False)
+        rt = make_runtime(num_nodes=1, store_mib=32, config=config)
+        make = rt.remote(lambda: _blob(16))
+
+        def driver():
+            refs = [make.remote() for _ in range(6)]  # 96 MB > 32 MiB
+            ready, _ = rt.wait(refs, num_returns=len(refs))
+            return len(ready)
+
+        assert rt.run(driver) == 6
+        assert rt.counters.get("spill_bytes_written") == 0
+        assert rt.counters.get("fallback_allocations") >= 1
+
+
+class TestEagerEviction:
+    def test_release_evicts_everywhere(self):
+        rt = make_runtime(num_nodes=1, store_mib=256)
+        make = rt.remote(lambda: _blob(16))
+
+        def driver():
+            refs = [make.remote() for _ in range(4)]
+            rt.wait(refs, num_returns=4)
+            rt.free(refs)
+            return True
+
+        rt.run(driver)
+        assert rt.counters.get("objects_evicted") >= 4
+        store = rt.driver_manager.store
+        assert store.used_bytes == 0
+
+    def test_deleted_refs_avoid_spilling(self):
+        """The ES-push* trick: dropping refs before memory pressure means
+        the objects are evicted for free instead of spilled."""
+        rt = make_runtime(num_nodes=1, store_mib=64)
+        make = rt.remote(lambda: _blob(16))
+        consume = rt.remote(lambda x: x.nbytes)
+
+        def driver(free_early):
+            total = 0
+            for _ in range(12):
+                ref = make.remote()
+                out = consume.remote(ref)
+                del ref
+                total += rt.get(out)
+            return total
+
+        rt.run(driver, True)
+        # Every intermediate was consumed then freed: nothing needed disk.
+        assert rt.counters.get("spill_bytes_written") == 0
+
+    def test_held_refs_do_spill_under_pressure(self):
+        rt = make_runtime(num_nodes=1, store_mib=64)
+        make = rt.remote(lambda: _blob(16))
+        consume = rt.remote(lambda x: x.nbytes)
+
+        def driver():
+            kept = []
+            for _ in range(12):
+                ref = make.remote()
+                kept.append(ref)
+                rt.get(consume.remote(ref))
+            return len(kept)
+
+        rt.run(driver)
+        assert rt.counters.get("spill_bytes_written") > 0
+
+    def test_get_after_free_raises(self):
+        rt = make_runtime(num_nodes=1)
+        make = rt.remote(lambda: 42)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            rt.free([ref])
+            with pytest.raises(Exception):
+                rt.get(ref)
+            return True
+
+        assert rt.run(driver)
+
+
+class TestFetchingAndLocality:
+    def test_cross_node_arg_fetch_charges_network(self):
+        rt = make_runtime(num_nodes=2)
+        make = rt.remote(lambda: _blob(50))
+        a, b = rt.cluster.node_ids
+
+        def driver():
+            src = make.options(node=a).remote()
+            out = rt.remote(lambda x: x.nbytes).options(node=b).remote(src)
+            return rt.get(out)
+
+        assert rt.run(driver) == 50 * MB
+        assert rt.cluster.network_bytes_sent >= 50 * MB
+
+    def test_locality_scheduling_avoids_network(self):
+        def run(locality):
+            config = RuntimeConfig(enable_locality_scheduling=locality)
+            rt = make_runtime(num_nodes=4, config=config)
+            make = rt.remote(lambda: _blob(50))
+            consume = rt.remote(lambda x: x.nbytes)
+            node = rt.cluster.node_ids[2]
+
+            def driver():
+                src = make.options(node=node).remote()
+                rt.wait([src], num_returns=1)
+                return rt.get(consume.remote(src))
+
+            rt.run(driver)
+            return rt.cluster.network_bytes_sent
+
+        # With locality only the tiny final result crosses the network.
+        assert run(locality=True) < 1000
+        # Without locality the consumer lands on the least-loaded node
+        # (node 0 by id order) and must pull the bytes.
+        assert run(locality=False) >= 50 * MB
+
+    def test_node_affinity_is_soft_when_node_dead(self):
+        rt = make_runtime(num_nodes=3)
+        victim = rt.cluster.node_ids[2]
+        rt.cluster.node(victim).fail()
+        work = rt.remote(lambda: "ran").options(node=victim)
+
+        def driver():
+            return rt.get(work.remote())
+
+        assert rt.run(driver) == "ran"
+
+    def test_concurrent_fetches_of_same_object_deduplicate(self):
+        rt = make_runtime(num_nodes=2)
+        make = rt.remote(lambda: _blob(80))
+        touch = rt.remote(lambda x: 1)
+        a, b = rt.cluster.node_ids
+
+        def driver():
+            src = make.options(node=a).remote()
+            rt.wait([src], num_returns=1)
+            outs = [touch.options(node=b).remote(src) for _ in range(6)]
+            return sum(rt.get(outs))
+
+        assert rt.run(driver) == 6
+        # Only one copy of the 80 MB object should cross the network.
+        assert rt.cluster.network_bytes_sent < 2 * 80 * MB
+
+
+class TestPrefetching:
+    def _pipeline_time(self, prefetch: bool) -> float:
+        """Chain of consumers whose args must come from another node."""
+        config = RuntimeConfig(enable_prefetching=prefetch)
+        rt = make_runtime(num_nodes=2, cores=1, nic_mb_s=50.0, config=config)
+        a, b = rt.cluster.node_ids
+        make = rt.remote(lambda: _blob(25))
+        crunch = rt.remote(lambda x: 1).options(compute=0.5, node=b)
+
+        def driver():
+            srcs = [make.options(node=a).remote() for _ in range(8)]
+            rt.wait(srcs, num_returns=len(srcs))
+            outs = [crunch.remote(s) for s in srcs]
+            return sum(rt.get(outs))
+
+        rt.run(driver)
+        return rt.now
+
+    def test_prefetch_overlaps_io_with_execution(self):
+        """Fig 7 mechanism: pipelined fetching hides transfer latency.
+
+        Node b has 1 core; without prefetch each task serialises
+        fetch(0.5s)+compute(0.5s); with prefetch the fetches overlap
+        earlier tasks' compute.
+        """
+        with_prefetch = self._pipeline_time(True)
+        without = self._pipeline_time(False)
+        assert with_prefetch < 0.8 * without
+
+
+class TestIntrospection:
+    def test_locations_of(self):
+        rt = make_runtime(num_nodes=2)
+        a = rt.cluster.node_ids[0]
+        make = rt.remote(lambda: _blob(1)).options(node=a)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            return rt.locations_of(ref)
+
+        assert rt.run(driver) == [a]
+
+    def test_task_attempts_counts_executions(self):
+        rt = make_runtime(num_nodes=1)
+        make = rt.remote(lambda: 7)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            return rt.task_attempts(ref)
+
+        assert rt.run(driver) == 1

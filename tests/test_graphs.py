@@ -1,0 +1,90 @@
+"""Dask-style task graphs on the futures backend."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphError, TaskGraph, execute_graph
+
+from tests.conftest import make_runtime
+
+
+def inc(x):
+    return x + 1
+
+
+def add(x, y):
+    return x + y
+
+
+class TestGraphStructure:
+    def test_topological_order_respects_deps(self):
+        graph = TaskGraph({"a": 1, "b": (inc, "a"), "c": (add, "a", "b")})
+        order = graph.order
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detected(self):
+        with pytest.raises(GraphError, match="cycle"):
+            TaskGraph({"a": (inc, "b"), "b": (inc, "a")})
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            TaskGraph({})
+
+    def test_non_key_strings_are_plain_args(self):
+        graph = TaskGraph({"x": (str.upper, "hello")})
+        assert graph.dependencies("x") == []
+
+
+class TestExecution:
+    def test_linear_chain(self):
+        rt = make_runtime(num_nodes=2)
+        graph = {"a": 1, "b": (inc, "a"), "c": (inc, "b"), "d": (inc, "c")}
+        assert rt.run(lambda: execute_graph(rt, graph, "d")) == 4
+
+    def test_diamond(self):
+        rt = make_runtime(num_nodes=2)
+        graph = {
+            "src": 10,
+            "left": (inc, "src"),
+            "right": (lambda x: x * 2, "src"),
+            "sink": (add, "left", "right"),
+        }
+        assert rt.run(lambda: execute_graph(rt, graph, "sink")) == 31
+
+    def test_multiple_targets_and_literal_target(self):
+        rt = make_runtime(num_nodes=1)
+        graph = {"a": 5, "b": (inc, "a")}
+        values = rt.run(lambda: execute_graph(rt, graph, ["b", "a"]))
+        assert values == [6, 5]
+
+    def test_unknown_target_rejected(self):
+        rt = make_runtime(num_nodes=1)
+        with pytest.raises(GraphError):
+            rt.run(lambda: execute_graph(rt, {"a": 1}, "zzz"))
+
+    def test_wide_fan_out_runs_in_parallel(self):
+        rt = make_runtime(num_nodes=2, cores=4)
+        work = lambda x: x  # noqa: E731
+        graph = {"root": 0}
+        for i in range(16):
+            graph[f"leaf{i}"] = (work, "root")
+        graph["sink"] = (lambda *xs: len(xs), *[f"leaf{i}" for i in range(16)])
+        # Apply a fixed compute cost by wrapping: use options via manual graph
+        assert rt.run(lambda: execute_graph(rt, graph, "sink")) == 16
+
+    def test_map_reduce_expressed_as_graph(self):
+        """MapReduce as a literal graph -- the CIEL/Dask lineage the paper
+        builds on (§6)."""
+        rt = make_runtime(num_nodes=2)
+        rng = np.random.default_rng(0)
+        parts = [rng.integers(0, 100, size=50) for _ in range(4)]
+        graph = {}
+        for i, part in enumerate(parts):
+            graph[f"input{i}"] = part
+            graph[f"sum{i}"] = (np.sum, f"input{i}")
+        graph["total"] = (
+            lambda *sums: int(sum(sums)),
+            *[f"sum{i}" for i in range(4)],
+        )
+        expected = int(sum(int(p.sum()) for p in parts))
+        assert rt.run(lambda: execute_graph(rt, graph, "total")) == expected

@@ -1,0 +1,107 @@
+"""Unit tests for counters, time series, and result tables."""
+
+import pytest
+
+from repro.metrics import Counters, ResultTable, TimeSeries
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("bytes", 10)
+        c.add("bytes", 5)
+        assert c.get("bytes") == 15
+        assert c["bytes"] == 15
+
+    def test_missing_is_zero(self):
+        assert Counters().get("nope") == 0.0
+
+    def test_default_increment(self):
+        c = Counters()
+        c.add("events")
+        c.add("events")
+        assert c.get("events") == 2
+
+    def test_as_dict_snapshot(self):
+        c = Counters()
+        c.add("x", 1)
+        snapshot = c.as_dict()
+        c.add("x", 1)
+        assert snapshot == {"x": 1}
+
+    def test_iteration(self):
+        c = Counters()
+        c.add("a")
+        c.add("b")
+        assert sorted(c) == ["a", "b"]
+
+
+class TestTimeSeries:
+    def test_record_and_lookup(self):
+        ts = TimeSeries("progress")
+        ts.record(0.0, 0.0)
+        ts.record(5.0, 0.5)
+        ts.record(10.0, 1.0)
+        assert ts.value_at(7.0) == 0.5
+        assert ts.value_at(10.0) == 1.0
+
+    def test_rejects_time_going_backwards(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 2.0)
+
+    def test_lookup_before_first_sample_rejected(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.value_at(1.0)
+
+    def test_first_time_reaching(self):
+        ts = TimeSeries()
+        ts.record(1.0, 0.2)
+        ts.record(2.0, 0.6)
+        ts.record(3.0, 0.9)
+        assert ts.first_time_reaching(0.5) == 2.0
+        assert ts.first_time_reaching(0.95) == float("inf")
+
+    def test_accessors(self):
+        ts = TimeSeries()
+        ts.record(1.0, 10.0)
+        assert ts.times == [1.0]
+        assert ts.values == [10.0]
+        assert len(ts) == 1
+
+
+class TestResultTable:
+    def test_add_and_find(self):
+        t = ResultTable("demo", ["a", "b"])
+        t.add_row(a=1, b="x")
+        t.add_row(a=2, b="y")
+        assert t.find(a=2)["b"] == "y"
+        assert t.find(a=3) is None
+        assert len(t) == 2
+
+    def test_unknown_column_rejected(self):
+        t = ResultTable("demo", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(zzz=1)
+        with pytest.raises(ValueError):
+            t.column("zzz")
+
+    def test_column_extraction_with_missing(self):
+        t = ResultTable("demo", ["a", "b"])
+        t.add_row(a=1)
+        assert t.column("b") == [None]
+
+    def test_render_contains_everything(self):
+        t = ResultTable("My Title", ["name", "value"])
+        t.add_row(name="alpha", value=3.14159)
+        text = t.render()
+        assert "My Title" in text
+        assert "alpha" in text
+        assert "3.14" in text
+
+    def test_render_empty_table(self):
+        t = ResultTable("Empty", ["col"])
+        assert "Empty" in t.render()

@@ -1,0 +1,76 @@
+"""Smaller ML components: accelerator, training results, magnet locality."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import MB
+from repro.ml.accelerator import AcceleratorSpec, T4_LIKE
+from repro.ml.training import TrainingResult
+from repro.shuffle import magnet_shuffle
+from repro.sort import SortOps, uniform_bounds
+from repro.sort.datagen import generate_partitions
+
+from tests.conftest import make_runtime
+
+
+class TestAccelerator:
+    def test_seconds_scale_with_bytes(self):
+        assert T4_LIKE.seconds_for(600 * MB) == pytest.approx(1.0)
+        assert T4_LIKE.seconds_for(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec(name="bad", train_bytes_per_sec=0)
+
+
+class TestTrainingResult:
+    def test_aggregates(self):
+        result = TrainingResult(
+            label="x",
+            epoch_seconds=[2.0, 4.0],
+            accuracies=[0.5, 0.8],
+            total_seconds=7.0,
+        )
+        assert result.mean_epoch_seconds == 3.0
+        assert result.final_accuracy == 0.8
+
+    def test_empty_result_is_safe(self):
+        result = TrainingResult(label="empty")
+        assert result.mean_epoch_seconds == 0.0
+        assert result.final_accuracy == 0.0
+
+
+class TestMagnetLocality:
+    def test_merges_and_reduce_share_reducer_home(self):
+        """Magnet's point: merge tasks for reducer r run on r's node, so
+        the final reduce reads locally."""
+        rt = make_runtime(num_nodes=3)
+        num_reduces = 6
+        ops = SortOps(uniform_bounds(num_reduces))
+
+        def driver():
+            parts = generate_partitions(rt, 6, 2 * MB, virtual=True)
+            refs = magnet_shuffle(
+                rt, parts, ops.map, ops.merge, ops.reduce, num_reduces,
+                merge_factor=3,
+            )
+            rt.wait(refs, num_returns=len(refs))
+            return refs
+
+        refs = rt.run(driver)
+        nodes = rt.cluster.node_ids
+        merge_records = [
+            r for r in rt.tasks.values() if r.spec.fn_name == "merge"
+        ]
+        reduce_records = [
+            r for r in rt.tasks.values() if r.spec.fn_name == "reduce"
+        ]
+        assert merge_records and reduce_records
+        # Affinity: every merge/reduce pinned node matches its placement.
+        for record in merge_records + reduce_records:
+            assert record.assigned_node == record.spec.options.node
+        # Reducer r and its merges share a home: group by options.node.
+        reduce_homes = {r.spec.options.node for r in reduce_records}
+        merge_homes = {r.spec.options.node for r in merge_records}
+        assert merge_homes <= set(nodes)
+        assert reduce_homes == merge_homes

@@ -1,0 +1,259 @@
+"""ML data loading and training (§3.2.2, §5.2.2, Figs 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.petastorm import PetastormLoader, windowed_shuffle_order
+from repro.common.errors import OutOfMemoryError
+from repro.common.rng import seeded_rng
+from repro.common.units import MB
+from repro.ml import (
+    ExoshuffleLoader,
+    LocalBatchLoader,
+    SGDClassifier,
+    SyntheticHiggs,
+    T4_LIKE,
+    TabularBlock,
+    train_distributed,
+    train_single_node,
+)
+from repro.ml.loaders import stage_blocks
+
+from tests.conftest import make_runtime
+
+
+def small_dataset(n=6000, io_scale=100.0, seed=3):
+    return SyntheticHiggs(num_samples=n, seed=seed, io_scale=io_scale)
+
+
+class TestDataset:
+    def test_blocks_partition_all_samples(self):
+        data = small_dataset(n=1000)
+        blocks = data.training_blocks(7)
+        assert sum(b.num_records for b in blocks) == 1000
+
+    def test_storage_order_is_label_clustered(self):
+        """The first block must be (almost) single-label -- that is the
+        adversarial ordering the experiment depends on."""
+        blocks = small_dataset(n=4000).training_blocks(8)
+        first = blocks[0].labels
+        assert first.mean() < 0.05 or first.mean() > 0.95
+
+    def test_io_scale_inflates_declared_size(self):
+        plain = SyntheticHiggs(num_samples=500, io_scale=1.0).training_blocks(1)[0]
+        scaled = SyntheticHiggs(num_samples=500, io_scale=50.0).training_blocks(1)[0]
+        assert scaled.size_bytes == pytest.approx(50 * plain.size_bytes, rel=0.01)
+
+    def test_generation_deterministic(self):
+        a = small_dataset().training_blocks(4)[0]
+        b = small_dataset().training_blocks(4)[0]
+        assert (a.features == b.features).all()
+
+    def test_block_concat_and_take(self):
+        blocks = small_dataset(n=300).training_blocks(3)
+        merged = TabularBlock.concat(blocks)
+        assert merged.num_records == 300
+        taken = merged.take(np.arange(10))
+        assert taken.num_records == 10
+
+
+class TestModel:
+    def test_training_reduces_loss_and_learns(self):
+        data = small_dataset(n=8000)
+        blocks = data.training_blocks(1)
+        model = SGDClassifier(num_features=data.num_features)
+        rng = seeded_rng(0, "order")
+        order = rng.permutation(blocks[0].num_records)
+        shuffled = blocks[0].take(order)
+        for _ in range(5):
+            model.train_block(shuffled.features, shuffled.labels)
+        val_x, val_y = data.validation_set()
+        assert model.accuracy(val_x, val_y) > 0.75
+
+    def test_param_round_trip_and_average(self):
+        model = SGDClassifier(num_features=4)
+        params = model.get_params()
+        avg = SGDClassifier.average([params, params + 2.0])
+        assert np.allclose(avg, params + 1.0)
+
+
+class TestWindowedOrder:
+    def test_window_preserves_multiset(self):
+        blocks = small_dataset(n=1000).training_blocks(4)
+        rng = seeded_rng(1, "w")
+        out = list(windowed_shuffle_order(blocks, 100, rng, 128))
+        total = sum(b.num_records for b in out)
+        assert total == 1000
+        all_in = np.sort(np.concatenate([b.features[:, 0] for b in blocks]))
+        all_out = np.sort(np.concatenate([b.features[:, 0] for b in out]))
+        assert np.allclose(all_in, all_out)
+
+    def test_small_window_keeps_storage_locality(self):
+        """With a tiny window, early output rows come from early blocks."""
+        blocks = small_dataset(n=2000).training_blocks(4)
+        rng = seeded_rng(2, "w")
+        out = list(windowed_shuffle_order(blocks, 10, rng, 500))
+        first_labels = out[0].labels
+        # Storage order is label-sorted: a tiny window cannot mix labels.
+        assert first_labels.mean() < 0.2 or first_labels.mean() > 0.8
+
+    def test_window_too_large_ooms(self):
+        rt = make_runtime(num_nodes=1)
+        refs = rt.run(
+            lambda: stage_blocks(rt, small_dataset(n=500).training_blocks(2))
+        )
+        with pytest.raises(OutOfMemoryError):
+            PetastormLoader(
+                rt, refs, window_bytes=100 * MB, buffer_budget_bytes=10 * MB
+            )
+
+
+class TestLoaders:
+    def _staged(self, rt, data, num_blocks=8):
+        blocks = data.training_blocks(num_blocks)
+        return rt.run(lambda: stage_blocks(rt, blocks))
+
+    def test_exoshuffle_epochs_differ_and_conserve(self):
+        rt = make_runtime(num_nodes=2)
+        data = small_dataset(n=2000)
+        refs = self._staged(rt, data)
+        loader = ExoshuffleLoader(rt, refs, seed=5)
+
+        def driver():
+            e0 = rt.get(loader.submit_epoch(0))
+            e1 = rt.get(loader.submit_epoch(1))
+            return e0, e1
+
+        e0, e1 = rt.run(driver)
+        assert sum(b.num_records for b in e0) == 2000
+        assert sum(b.num_records for b in e1) == 2000
+        # Different epochs produce different orders.
+        assert not np.array_equal(e0[0].features, e1[0].features)
+
+    def test_exoshuffle_epoch_is_well_mixed(self):
+        rt = make_runtime(num_nodes=2)
+        data = small_dataset(n=4000)
+        refs = self._staged(rt, data)
+        loader = ExoshuffleLoader(rt, refs, seed=1)
+        blocks = rt.run(lambda: rt.get(loader.submit_epoch(0)))
+        # Every shuffled block should be label-balanced (global mix).
+        for block in blocks:
+            assert 0.3 < block.labels.mean() < 0.7
+
+    def test_local_loader_moves_no_data(self):
+        rt = make_runtime(num_nodes=2)
+        data = small_dataset(n=2000)
+        refs = self._staged(rt, data)
+        before = rt.cluster.network_bytes_sent
+        loader = LocalBatchLoader(rt, refs, seed=2)
+
+        def driver():
+            out = loader.submit_epoch(0)
+            rt.wait(out, num_returns=len(out))
+            return True
+
+        rt.run(driver)
+        assert rt.cluster.network_bytes_sent == before
+
+    def test_local_loader_blocks_stay_label_biased(self):
+        rt = make_runtime(num_nodes=2)
+        data = small_dataset(n=4000)
+        refs = self._staged(rt, data)
+        loader = LocalBatchLoader(rt, refs, seed=2)
+        blocks = rt.run(lambda: rt.get(loader.submit_epoch(0)))
+        biased = sum(
+            1 for b in blocks if b.labels.mean() < 0.2 or b.labels.mean() > 0.8
+        )
+        assert biased >= len(blocks) // 2
+
+
+class TestTraining:
+    def test_single_node_training_converges(self):
+        rt = make_runtime(num_nodes=1, store_mib=4096)
+        data = small_dataset(n=6000, io_scale=50.0)
+        refs = rt.run(lambda: stage_blocks(rt, data.training_blocks(6)))
+        loader = ExoshuffleLoader(rt, refs, seed=0)
+        model = SGDClassifier(num_features=data.num_features)
+        result = train_single_node(
+            rt, loader, model, data.validation_set(), epochs=6, label="exo"
+        )
+        assert len(result.epoch_seconds) == 6
+        assert result.final_accuracy > 0.75
+        assert result.total_seconds > 0
+
+    def test_full_shuffle_beats_partial_on_clustered_data(self):
+        data = small_dataset(n=8000, io_scale=20.0)
+
+        def run(loader_cls):
+            rt = make_runtime(num_nodes=2, store_mib=4096)
+            refs = rt.run(lambda: stage_blocks(rt, data.training_blocks(8)))
+            loader = loader_cls(rt, refs, seed=0)
+            model = SGDClassifier(num_features=data.num_features, seed=0)
+            return train_single_node(
+                rt, loader, model, data.validation_set(), epochs=5
+            )
+
+        full = run(ExoshuffleLoader)
+        partial = run(LocalBatchLoader)
+        assert full.final_accuracy > partial.final_accuracy
+
+    def test_distributed_training_runs_on_all_trainers(self):
+        rt = make_runtime(num_nodes=4, store_mib=4096)
+        data = small_dataset(n=6000, io_scale=20.0)
+        refs = rt.run(lambda: stage_blocks(rt, data.training_blocks(8)))
+        loader = ExoshuffleLoader(rt, refs, seed=0)
+        model = SGDClassifier(num_features=data.num_features)
+        result = train_distributed(
+            rt,
+            loader,
+            model,
+            data.validation_set(),
+            epochs=4,
+            trainer_nodes=rt.cluster.node_ids,
+        )
+        assert len(result.accuracies) == 4
+        assert result.final_accuracy > 0.7
+
+    def test_petastorm_slower_per_epoch_than_exoshuffle(self):
+        """Fig 8's throughput claim: the single-reader decode-bound loader
+        cannot keep up with a loader that shuffles with cluster cores."""
+        data = small_dataset(n=6000, io_scale=200.0)
+        blocks = data.training_blocks(8)
+
+        rt_exo = make_runtime(num_nodes=1, cores=8, store_mib=4096)
+        refs = rt_exo.run(lambda: stage_blocks(rt_exo, blocks))
+        exo = train_single_node(
+            rt_exo,
+            ExoshuffleLoader(rt_exo, refs, seed=0),
+            SGDClassifier(num_features=data.num_features),
+            data.validation_set(),
+            epochs=3,
+        )
+
+        rt_pet = make_runtime(num_nodes=1, cores=8, store_mib=4096)
+        refs_p = rt_pet.run(lambda: stage_blocks(rt_pet, blocks))
+        loader = PetastormLoader(
+            rt_pet,
+            refs_p,
+            window_bytes=sum(b.size_bytes for b in blocks) // 10,
+            buffer_budget_bytes=sum(b.size_bytes for b in blocks) // 2,
+        )
+        record_bytes = blocks[0].size_bytes // blocks[0].num_records
+        window_records = loader.window_records(record_bytes)
+
+        def window_order(epoch):
+            return list(
+                windowed_shuffle_order(
+                    blocks, window_records, loader.epoch_rng(epoch), 1000
+                )
+            )
+
+        pet = train_single_node(
+            rt_pet,
+            loader,
+            SGDClassifier(num_features=data.num_features),
+            data.validation_set(),
+            epochs=3,
+            order_override=window_order,
+        )
+        assert pet.mean_epoch_seconds > 1.5 * exo.mean_epoch_seconds

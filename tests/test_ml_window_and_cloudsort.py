@@ -1,0 +1,88 @@
+"""Windowed shuffle loader (Fig 2d-iii) and CloudSort cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import TB
+from repro.ml import ExoshuffleLoader, SyntheticHiggs
+from repro.ml.loaders import WindowedExoshuffleLoader, stage_blocks
+from repro.sort.cloudsort import CloudSortCost, cloudsort_cost
+
+from tests.conftest import make_runtime
+
+
+class TestWindowedLoader:
+    def _staged(self, rt, n=4000, blocks=8):
+        data = SyntheticHiggs(num_samples=n, seed=3, io_scale=20.0)
+        bl = data.training_blocks(blocks)
+        return rt.run(lambda: stage_blocks(rt, bl)), data
+
+    def test_conserves_samples(self):
+        rt = make_runtime(num_nodes=2)
+        refs, _ = self._staged(rt)
+        loader = WindowedExoshuffleLoader(rt, refs, window_partitions=3)
+        out = rt.run(lambda: rt.get(loader.submit_epoch(0)))
+        assert sum(b.num_records for b in out) == 4000
+
+    def test_window_limits_mixing(self):
+        """A window never mixes samples across window boundaries, so with
+        label-sorted storage the first window's outputs stay one-label
+        while a full shuffle's outputs are balanced."""
+        rt = make_runtime(num_nodes=2)
+        refs, _ = self._staged(rt)
+        windowed = WindowedExoshuffleLoader(rt, refs, window_partitions=2)
+        out = rt.run(lambda: rt.get(windowed.submit_epoch(0)))
+        first_window_labels = np.concatenate(
+            [b.labels for b in out[:2]]
+        )
+        assert first_window_labels.mean() < 0.1
+
+        full = ExoshuffleLoader(rt, refs, seed=1)
+        out_full = rt.run(lambda: rt.get(full.submit_epoch(0)))
+        assert all(0.2 < b.labels.mean() < 0.8 for b in out_full)
+
+    def test_wider_window_mixes_more(self):
+        rt = make_runtime(num_nodes=2)
+        refs, _ = self._staged(rt)
+
+        def imbalance(window):
+            loader = WindowedExoshuffleLoader(rt, refs, window_partitions=window)
+            out = rt.run(lambda: rt.get(loader.submit_epoch(0)))
+            return float(
+                np.mean([abs(b.labels.mean() - 0.5) for b in out])
+            )
+
+        assert imbalance(8) <= imbalance(2)
+
+    def test_validation(self):
+        rt = make_runtime(num_nodes=1)
+        with pytest.raises(ValueError):
+            WindowedExoshuffleLoader(rt, [], window_partitions=2)
+
+
+class TestCloudSort:
+    def test_cost_arithmetic(self):
+        cost = cloudsort_cost("d3.2xlarge", 100, 3600.0, int(100 * TB))
+        assert cost.total_dollars == pytest.approx(100 * 0.999)
+        assert cost.dollars_per_tb == pytest.approx(0.999)
+
+    def test_cheaper_when_faster(self):
+        slow = cloudsort_cost("i3.2xlarge", 10, 7200.0, TB)
+        fast = cloudsort_cost("i3.2xlarge", 10, 3600.0, TB)
+        assert fast.total_dollars < slow.total_dollars
+
+    def test_custom_price_and_unknown_type(self):
+        custom = cloudsort_cost("weird.9xl", 1, 3600.0, TB, hourly_price=2.0)
+        assert custom.total_dollars == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            cloudsort_cost("weird.9xl", 1, 3600.0, TB)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            cloudsort_cost("d3.2xlarge", 0, 3600.0, TB)
+        with pytest.raises(ValueError):
+            cloudsort_cost("d3.2xlarge", 1, 0.0, TB)
+
+    def test_str_rendering(self):
+        text = str(cloudsort_cost("d3.2xlarge", 10, 1800.0, TB))
+        assert "d3.2xlarge" in text and "/TB" in text

@@ -1,0 +1,100 @@
+"""Property-based tests on the object store's accounting invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.ids import NodeId, ObjectId
+from repro.futures.object_store import ObjectStore
+from repro.simcore import Environment
+
+CAPACITY = 1000
+
+
+def _check_invariants(store: ObjectStore) -> None:
+    sizes = [store.entry_size(oid) for oid in store.objects()]
+    assert store.used_bytes == sum(sizes)
+    assert 0 <= store.used_bytes <= store.capacity
+    assert 0 <= store.pinned_bytes <= store.used_bytes
+
+
+# Each step: (op_code, object_index, size, primary)
+step_strategy = st.tuples(
+    st.sampled_from(["alloc", "try_alloc", "free", "pin", "unpin", "demote"]),
+    st.integers(min_value=0, max_value=19),
+    st.integers(min_value=1, max_value=400),
+    st.booleans(),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(steps=st.lists(step_strategy, min_size=1, max_size=60))
+def test_store_accounting_invariants_hold_under_any_sequence(steps):
+    env = Environment()
+    store = ObjectStore(env, NodeId(0), CAPACITY)
+    alloc_counter = 0
+    for op, index, size, primary in steps:
+        oid = ObjectId(index)
+        if op == "alloc":
+            alloc_counter += 1
+            # Use a unique id for queued allocations to avoid aliasing.
+            store.allocate(oid, size, primary=primary)
+        elif op == "try_alloc":
+            store.try_allocate(oid, size, primary=primary)
+        elif op == "free":
+            store.free(oid)
+        elif op == "pin":
+            if store.contains(oid):
+                store.pin(oid)
+        elif op == "unpin":
+            store.unpin(oid)
+        elif op == "demote":
+            store.demote_to_cached(oid)
+        env.run()
+        _check_invariants(store)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=300), min_size=1, max_size=30)
+)
+def test_eviction_of_cached_copies_never_drops_primaries(sizes):
+    env = Environment()
+    store = ObjectStore(env, NodeId(0), CAPACITY)
+    primaries = []
+    # Fill half the store with primaries, then churn cached copies through.
+    budget = CAPACITY // 2
+    used = 0
+    for i, size in enumerate(sizes):
+        if used + size > budget:
+            break
+        store.try_allocate(ObjectId(1000 + i), size, primary=True)
+        primaries.append(ObjectId(1000 + i))
+        used += size
+    for i, size in enumerate(sizes):
+        store.try_allocate(ObjectId(i), min(size, CAPACITY // 2), primary=False)
+    env.run()
+    for oid in primaries:
+        assert store.contains(oid)
+        assert store.is_primary(oid)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=25),
+    pin_mask=st.lists(st.booleans(), min_size=25, max_size=25),
+)
+def test_spill_candidates_are_unpinned_primaries_within_budget(sizes, pin_mask):
+    env = Environment()
+    store = ObjectStore(env, NodeId(0), 10_000)
+    for i, size in enumerate(sizes):
+        store.try_allocate(ObjectId(i), size, primary=(i % 2 == 0), pin=pin_mask[i])
+    for target in (1, 100, 10_000):
+        candidates = store.spill_candidates(target)
+        for oid, size in candidates:
+            index = oid.index
+            assert index % 2 == 0  # primary
+            assert not pin_mask[index]  # unpinned
+            assert size == sizes[index]
+        # Budget respected modulo one overshooting entry.
+        total = sum(size for _, size in candidates)
+        if candidates:
+            assert total - candidates[-1][1] < target

@@ -1,0 +1,110 @@
+"""RemoteFunction/TaskOptions API surface and validation."""
+
+import pytest
+
+from repro.futures import TaskOptions
+from repro.futures.remote import RemoteFunction
+
+from tests.conftest import make_runtime
+
+
+class TestOptions:
+    def test_options_returns_new_binding(self):
+        rt = make_runtime(num_nodes=1)
+        base = rt.remote(lambda: 1)
+        tuned = base.options(compute=2.0, num_returns=1)
+        assert tuned is not base
+        assert tuned.task_options.compute == 2.0
+        assert base.task_options.compute is None
+
+    def test_num_returns_validated(self):
+        with pytest.raises(ValueError):
+            TaskOptions(num_returns=0)
+
+    def test_unknown_option_rejected(self):
+        rt = make_runtime(num_nodes=1)
+        with pytest.raises(TypeError):
+            rt.remote(lambda: 1, warp_speed=9)
+
+    def test_non_callable_rejected(self):
+        rt = make_runtime(num_nodes=1)
+        with pytest.raises(TypeError):
+            RemoteFunction(rt, 42, TaskOptions())  # type: ignore[arg-type]
+
+    def test_name_option_shows_in_repr_and_records(self):
+        rt = make_runtime(num_nodes=1)
+        fn = rt.remote(lambda: 1, name="special")
+        assert "special" in repr(fn)
+
+        def driver():
+            ref = fn.remote()
+            rt.wait([ref], num_returns=1)
+            return True
+
+        rt.run(driver)
+        assert any(
+            r.spec.fn_name == "special" for r in rt.tasks.values()
+        )
+
+    def test_output_to_disk_option_lands_on_disk(self):
+        import numpy as np
+        from repro.common.units import MB
+
+        rt = make_runtime(num_nodes=1, store_mib=512)
+        writer = rt.remote(
+            lambda: np.zeros(4 * MB, dtype=np.uint8), output_to_disk=True
+        )
+
+        def driver():
+            ref = writer.remote()
+            rt.wait([ref], num_returns=1)
+            return ref
+
+        ref = rt.run(driver)
+        manager = rt.driver_manager
+        assert manager.spill.is_spilled(ref.object_id)
+        assert not manager.store.contains(ref.object_id)
+        assert rt.counters.get("output_bytes_written") >= 4 * MB
+
+
+class TestArgumentHandling:
+    def test_plain_python_args_of_all_kinds(self):
+        rt = make_runtime(num_nodes=1)
+        echo = rt.remote(lambda *a: a)
+
+        def driver():
+            payload = (None, True, 3, 2.5, "text", b"bytes", [1, 2], {"k": 1})
+            return rt.get(echo.remote(*payload))
+
+        result = rt.run(driver)
+        assert result[2] == 3 and result[7] == {"k": 1}
+
+    def test_ref_in_set_rejected(self):
+        rt = make_runtime(num_nodes=1)
+        ident = rt.remote(lambda x: x)
+
+        def driver():
+            ref = ident.remote(1)
+            with pytest.raises(TypeError):
+                ident.remote({ref})
+            with pytest.raises(TypeError):
+                ident.remote({"key": ref})
+            return True
+
+        assert rt.run(driver)
+
+    def test_submitting_freed_ref_raises(self):
+        from repro.common.errors import ObjectLostError
+
+        rt = make_runtime(num_nodes=1)
+        ident = rt.remote(lambda x: x)
+
+        def driver():
+            ref = ident.remote(1)
+            rt.wait([ref], num_returns=1)
+            rt.free([ref])
+            with pytest.raises(ObjectLostError):
+                ident.remote(ref)
+            return True
+
+        assert rt.run(driver)

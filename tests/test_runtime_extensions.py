@@ -1,0 +1,164 @@
+"""Extension features: executor failure, replication, dynamic Riffle."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import total_records
+from repro.common.units import MB
+from repro.futures import RuntimeConfig
+from repro.shuffle import riffle_shuffle_dynamic
+from repro.sort import SortOps, uniform_bounds
+from repro.sort.datagen import generate_partitions
+
+from tests.conftest import make_runtime
+
+
+def _blob(mb):
+    return np.zeros(int(mb * MB), dtype=np.uint8)
+
+
+class TestExecutorFailure:
+    def test_executor_death_loses_no_objects(self):
+        """§4.2.3: the object store lives in the NodeManager, so killing
+        executors mid-job needs no lineage reconstruction."""
+        rt = make_runtime(num_nodes=2)
+        node_b = rt.cluster.node_ids[1]
+        make = rt.remote(lambda: _blob(10)).options(node=node_b)
+        slow = rt.remote(lambda x: x.nbytes).options(node=node_b, compute=20.0)
+
+        def driver():
+            data = make.remote()
+            rt.wait([data], num_returns=1)
+            out = slow.remote(data)
+            rt.sleep(5.0)  # `slow` is mid-execution
+            rt.node_managers[node_b].kill_executors()
+            return rt.get(out)
+
+        assert rt.run(driver) == 10 * MB
+        assert rt.counters.get("executor_failures") == 1
+        # The data object survived in the store: no reconstruction.
+        assert rt.counters.get("tasks_resubmitted") == 1  # only `slow`
+
+    def test_executor_failure_recovery_is_fast(self):
+        """Unlike node death, there is no detection delay to pay."""
+        config = RuntimeConfig(failure_detection_s=30.0)
+        rt = make_runtime(num_nodes=2, config=config)
+        node_b = rt.cluster.node_ids[1]
+        work = rt.remote(lambda: "v").options(node=node_b, compute=2.0)
+
+        def driver():
+            ref = work.remote()
+            rt.sleep(1.0)
+            rt.node_managers[node_b].kill_executors()
+            value = rt.get(ref)
+            return rt.timestamp(), value
+
+        finished_at, value = rt.run(driver)
+        assert value == "v"
+        # ~1 s elapsed + a fresh 2 s execution; nowhere near the 30 s
+        # node-failure detection timeout.
+        assert finished_at < 5.0
+
+
+class TestReplication:
+    def test_replicate_creates_copies_on_distinct_nodes(self):
+        rt = make_runtime(num_nodes=3)
+        make = rt.remote(lambda: _blob(5))
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            rt.replicate([ref], copies=3)
+            return rt.locations_of(ref)
+
+        locations = rt.run(driver)
+        assert len(locations) == 3
+        assert rt.counters.get("replicas_created") == 2
+
+    def test_replicated_object_survives_node_loss_without_rerun(self):
+        config = RuntimeConfig(failure_detection_s=2.0)
+        rt = make_runtime(num_nodes=3, config=config)
+        victim = rt.cluster.node_ids[1]
+        make = rt.remote(lambda: "precious").options(node=victim)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            rt.replicate([ref], copies=2)
+            rt.cluster.node(victim).fail()
+            rt.sleep(5.0)
+            return rt.get(ref)
+
+        assert rt.run(driver) == "precious"
+        assert rt.counters.get("tasks_resubmitted") == 0
+
+    def test_replicate_validates_copies(self):
+        rt = make_runtime(num_nodes=1)
+
+        def driver():
+            ref = rt.put(1)
+            with pytest.raises(ValueError):
+                rt.replicate([ref], copies=0)
+            return True
+
+        assert rt.run(driver)
+
+    def test_replicate_caps_at_cluster_size(self):
+        rt = make_runtime(num_nodes=2)
+
+        def driver():
+            ref = rt.put(_blob(1))
+            rt.replicate([ref], copies=10)
+            return rt.locations_of(ref)
+
+        assert len(rt.run(driver)) == 2
+
+
+class TestDynamicRiffle:
+    def _run(self, merge_factor=3, merge_threshold_bytes=None):
+        rt = make_runtime(num_nodes=3)
+        num_parts = 9
+        bounds = uniform_bounds(num_parts)
+        ops = SortOps(bounds)
+
+        def driver():
+            parts = generate_partitions(
+                rt, num_parts, 2 * MB, virtual=False, seed=5
+            )
+            expected = sum(rt.peek(p).num_records for p in parts)
+            refs = riffle_shuffle_dynamic(
+                rt, parts, ops.map, ops.merge_columns, ops.reduce,
+                ops.num_reduces, merge_factor=merge_factor,
+                merge_threshold_bytes=merge_threshold_bytes,
+            )
+            outputs = rt.get(refs)
+            return expected, outputs
+
+        expected, outputs = rt.run(driver)
+        return rt, expected, outputs
+
+    def test_produces_correct_sort(self):
+        rt, expected, outputs = self._run()
+        assert total_records(outputs) == expected
+        for block in outputs:
+            keys = block.keys
+            assert (np.sort(keys) == keys).all()
+
+    def test_groups_respect_locality(self):
+        """Merges must run where their map outputs already are: the
+        introspection-grouped variant moves (almost) nothing extra before
+        the reduce stage."""
+        rt, _, _ = self._run()
+        merge_records = [
+            r for r in rt.tasks.values() if "merge" in r.spec.fn_name
+        ]
+        assert merge_records
+        # every merge ran on some node that held its inputs: proxied by
+        # modest total network traffic (reduces must still fetch columns).
+        assert rt.cluster.network_bytes_sent < 2.5 * 9 * 2 * MB
+
+    def test_byte_threshold_flushes_smaller_groups(self):
+        _, _, outputs_small = self._run(
+            merge_factor=100, merge_threshold_bytes=3 * MB
+        )
+        assert total_records(outputs_small) > 0

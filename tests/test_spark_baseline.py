@@ -1,0 +1,83 @@
+"""Behavioural tests for the monolithic Spark-style baseline."""
+
+import pytest
+
+from repro.baselines.spark import SparkConfig, run_spark_sort
+from repro.cluster import ClusterSpec
+from repro.common.units import MB
+
+from tests.conftest import make_node_spec
+
+
+def hdd_cluster(nodes=4):
+    return ClusterSpec.homogeneous(
+        make_node_spec(disk_mb_s=200.0, seek_ms=8.0), nodes
+    )
+
+
+def test_sort_completes_and_counts_io():
+    result = run_spark_sort(hdd_cluster(), num_partitions=16, partition_bytes=20 * MB)
+    assert result.sort_seconds > 0
+    # read input + read shuffle; write shuffle + write output
+    assert result.stats["disk_bytes_read"] >= 2 * 16 * 20 * MB * 0.9
+    assert result.stats["disk_bytes_written"] >= 2 * 16 * 20 * MB * 0.9
+
+
+def test_many_partitions_hit_small_io_wall():
+    """Same data, more partitions -> quadratically more random reads ->
+    slower on seeky disks (Spark's classic degradation)."""
+    few = run_spark_sort(hdd_cluster(), num_partitions=8, partition_bytes=64 * MB)
+    many = run_spark_sort(hdd_cluster(), num_partitions=64, partition_bytes=8 * MB)
+    assert many.sort_seconds > 1.3 * few.sort_seconds
+
+
+def test_push_mode_beats_native_at_many_partitions():
+    config = SparkConfig(push_based=True)
+    native = run_spark_sort(hdd_cluster(), num_partitions=64, partition_bytes=8 * MB)
+    push = run_spark_sort(
+        hdd_cluster(), num_partitions=64, partition_bytes=8 * MB, config=config
+    )
+    assert push.sort_seconds < native.sort_seconds
+    assert push.mode == "spark-push"
+
+
+def test_push_mode_doubles_intermediate_writes():
+    config = SparkConfig(push_based=True)
+    result = run_spark_sort(
+        hdd_cluster(), num_partitions=16, partition_bytes=20 * MB, config=config
+    )
+    assert result.stats["merged_bytes_written"] == pytest.approx(
+        result.stats["shuffle_bytes_written"], rel=0.05
+    )
+
+
+def test_compression_reduces_intermediate_bytes():
+    config = SparkConfig(compression=True, compression_ratio=0.6)
+    plain = run_spark_sort(hdd_cluster(), num_partitions=16, partition_bytes=20 * MB)
+    packed = run_spark_sort(
+        hdd_cluster(), num_partitions=16, partition_bytes=20 * MB, config=config
+    )
+    assert (
+        packed.stats["shuffle_bytes_written"]
+        == pytest.approx(0.6 * plain.stats["shuffle_bytes_written"], rel=0.01)
+    )
+
+
+def test_in_memory_mode_skips_output_write():
+    result = run_spark_sort(
+        hdd_cluster(),
+        num_partitions=8,
+        partition_bytes=10 * MB,
+        output_to_disk=False,
+    )
+    # writes = shuffle only (no final output)
+    assert result.stats["disk_bytes_written"] == pytest.approx(
+        result.stats["shuffle_bytes_written"]
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SparkConfig(compression_ratio=0.0)
+    with pytest.raises(ValueError):
+        SparkConfig(cpu_throughput_bytes_per_sec=-1)

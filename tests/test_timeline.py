@@ -1,0 +1,99 @@
+"""Timeline reconstruction and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.common.units import MB
+from repro.metrics import (
+    chrome_trace_events,
+    export_chrome_trace,
+    phase_summary,
+    task_spans,
+)
+from repro.metrics.timeline import _assign_lanes
+from repro.sort import SortJobConfig, run_sort
+
+from tests.conftest import make_runtime
+
+
+def _sorted_runtime():
+    rt = make_runtime(num_nodes=2)
+    result = run_sort(
+        rt,
+        SortJobConfig(
+            variant="push*", num_partitions=6, partition_bytes=4 * MB,
+            virtual=True,
+        ),
+    )
+    assert result.validated
+    return rt
+
+
+class TestTaskSpans:
+    def test_spans_cover_all_finished_tasks(self):
+        rt = _sorted_runtime()
+        spans = task_spans(rt)
+        assert len(spans) == rt.counters.get("tasks_finished")
+        for span in spans:
+            assert span["end"] >= span["start"] >= 0
+            assert span["queue_delay"] >= 0
+
+    def test_spans_sorted_by_start(self):
+        spans = task_spans(_sorted_runtime())
+        starts = [s["start"] for s in spans]
+        assert starts == sorted(starts)
+
+
+class TestPhaseSummary:
+    def test_summary_has_one_row_per_function(self):
+        rt = _sorted_runtime()
+        table = phase_summary(rt)
+        phases = table.column("phase")
+        assert "gen_virtual" in phases
+        assert any("push_map" in p for p in phases)
+        for row in table.rows:
+            assert row["busy_core_s"] > 0
+            assert row["last_end"] >= row["first_start"]
+
+
+class TestLaneAssignment:
+    def test_non_overlapping_spans_share_a_lane(self):
+        spans = [
+            {"start": 0.0, "end": 1.0},
+            {"start": 1.0, "end": 2.0},
+            {"start": 2.5, "end": 3.0},
+        ]
+        assert _assign_lanes(spans) == [0, 0, 0]
+
+    def test_overlapping_spans_split_lanes(self):
+        spans = [
+            {"start": 0.0, "end": 2.0},
+            {"start": 1.0, "end": 3.0},
+            {"start": 1.5, "end": 1.8},
+        ]
+        lanes = _assign_lanes(spans)
+        assert lanes[0] != lanes[1]
+        assert len(set(lanes)) == 3
+
+
+class TestChromeTrace:
+    def test_events_are_valid_trace_format(self):
+        rt = _sorted_runtime()
+        events = chrome_trace_events(rt)
+        tasks = [e for e in events if e.get("ph") == "X"]
+        metas = [e for e in events if e.get("ph") == "M"]
+        assert len(metas) == 2  # one per node
+        assert len(tasks) == rt.counters.get("tasks_finished")
+        for event in tasks:
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+            assert isinstance(event["pid"], int)
+
+    def test_export_writes_parseable_json(self, tmp_path):
+        rt = _sorted_runtime()
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(rt, str(path))
+        payload = json.loads(path.read_text())
+        assert len([e for e in payload["traceEvents"] if e["ph"] == "X"]) == count
+        assert count > 0

@@ -1,0 +1,70 @@
+"""LoC counting and shuffle-library helper utilities."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.shuffle.common import assign_reducers, chunks, unwrap_single_return
+from repro.tools.loc import (
+    PAPER_MONOLITHIC_LOC,
+    count_loc,
+    shuffle_library_loc,
+)
+
+
+class TestLoc:
+    def test_counts_exclude_comments_blank_and_docstrings(self, tmp_path):
+        source = '\n'.join(
+            [
+                '"""Module docstring.',
+                'More of it."""',
+                "",
+                "# a comment",
+                "def f(x):",
+                '    """Docstring."""',
+                "    return x  # trailing comment",
+                "",
+            ]
+        )
+        path = tmp_path / "sample.py"
+        path.write_text(source)
+        assert count_loc(path) == 2  # def line + return line
+
+    def test_multiline_statement_counts_each_line(self, tmp_path):
+        path = tmp_path / "multi.py"
+        path.write_text("x = [\n    1,\n    2,\n]\n")
+        assert count_loc(path) == 4
+
+    def test_shuffle_library_is_an_order_of_magnitude_smaller(self):
+        ours = shuffle_library_loc()
+        assert set(ours) == set(PAPER_MONOLITHIC_LOC)
+        for algorithm, loc in ours.items():
+            assert 30 <= loc <= PAPER_MONOLITHIC_LOC[algorithm] / 10
+
+
+class TestHelpers:
+    def test_chunks_covers_everything_in_order(self):
+        assert chunks([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+        assert chunks([], 3) == []
+
+    def test_chunks_validates_size(self):
+        with pytest.raises(ValueError):
+            chunks([1], 0)
+
+    def test_assign_reducers_round_robin(self):
+        assignment = assign_reducers(7, ["n0", "n1", "n2"])
+        assert assignment == [[0, 3, 6], [1, 4], [2, 5]]
+        assert sorted(r for slots in assignment for r in slots) == list(range(7))
+
+    def test_unwrap_single_return_passthrough_when_multi(self):
+        fn = lambda x: [x, x]  # noqa: E731
+        assert unwrap_single_return(fn, 2) is fn
+
+    def test_unwrap_single_return_unwraps(self):
+        fn = unwrap_single_return(lambda x: [x * 2], 1)
+        assert fn(4) == 8
+
+    def test_unwrap_single_return_validates(self):
+        bad = unwrap_single_return(lambda x: [1, 2], 1)
+        with pytest.raises(ValueError):
+            bad(0)
