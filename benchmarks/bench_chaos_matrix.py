@@ -1,0 +1,54 @@
+"""Recovery overhead per fault kind (chaos harness, beyond §5.1.5).
+
+The paper's fault-tolerance figure reports one number: job completion
+with and without a mid-run node failure.  The chaos harness generalizes
+that to a matrix; this benchmark reports the recovery overhead (chaos
+runtime over fault-free runtime) of the push shuffle for every fault
+kind, and asserts the §5.1.5-style property that recovery completes with
+correct output everywhere.
+"""
+
+import pytest
+
+from repro.chaos import FaultKind, matrix_plan, run_chaos_shuffle
+from repro.metrics import ResultTable
+
+from benchmarks._harness import print_table
+
+SEED = 2
+
+
+def _run_figure():
+    baseline = run_chaos_shuffle("push", None, seed=SEED)
+    table = ResultTable(
+        "Chaos matrix: push-shuffle recovery overhead by fault kind",
+        ["fault", "seconds", "overhead_x", "retries", "correct"],
+    )
+    table.add_row(
+        fault="none", seconds=baseline.duration, overhead_x=1.0,
+        retries=0, correct=True,
+    )
+    for kind in FaultKind:
+        report = run_chaos_shuffle("push", matrix_plan(kind, seed=SEED), seed=SEED)
+        table.add_row(
+            fault=kind.value,
+            seconds=report.duration,
+            overhead_x=report.duration / baseline.duration,
+            retries=report.retries,
+            correct=(
+                report.output == baseline.output and not report.violations
+            ),
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_chaos_matrix_recovery_overhead(benchmark):
+    table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
+    print_table(table)
+    assert all(row["correct"] for row in table.rows)
+    crash = table.find(fault="node_crash")
+    # A node crash costs real recovery time (detection + re-execution)...
+    assert crash["overhead_x"] > 1.0
+    # ...but recovery needs only a bounded handful of re-executions.
+    assert 1 <= crash["retries"] <= 16

@@ -1,0 +1,68 @@
+"""CLI entry point: ``python -m repro.chaos --smoke``.
+
+The smoke mode runs a reduced failure matrix -- every fault kind against
+the simple shuffle, plus a node crash against every variant -- and
+verifies each run against the fault-free oracle and the invariant
+checker.  Exit code 0 means every run produced correct output with zero
+invariant violations; CI runs this as a fast end-to-end sanity gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos.harness import SHUFFLE_VARIANTS, run_chaos_shuffle
+from repro.chaos.spec import FaultKind, matrix_plan
+
+
+def _smoke(seed: int) -> int:
+    cases = [("simple", kind) for kind in FaultKind]
+    cases += [
+        (variant, FaultKind.NODE_CRASH)
+        for variant in SHUFFLE_VARIANTS
+        if variant != "simple"
+    ]
+    baselines = {}
+    failures = 0
+    for variant, kind in cases:
+        if variant not in baselines:
+            baselines[variant] = run_chaos_shuffle(variant, None, seed=seed)
+        baseline = baselines[variant]
+        report = run_chaos_shuffle(variant, matrix_plan(kind, seed=seed), seed=seed)
+        ok = report.output == baseline.output and not report.violations
+        failures += 0 if ok else 1
+        status = "ok" if ok else "FAIL"
+        print(
+            f"{status:4s} {variant:15s} {kind.value:12s} "
+            f"t={report.duration:7.2f}s retries={report.retries:3d} "
+            f"violations={len(report.violations)}"
+        )
+        for violation in report.violations[:5]:
+            print(f"       ! {violation}")
+    print(f"{len(cases) - failures}/{len(cases)} chaos smoke cases passed")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    """Parse arguments and run the requested chaos mode."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Chaos-harness smoke runner for the shuffle data plane.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the reduced failure matrix and exit nonzero on any "
+        "incorrect output or invariant violation",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="plan/workload seed")
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.print_help()
+        return 2
+    return _smoke(args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ provides zero-copy shared-memory reads, §4.2.1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.common.ids import IdGenerator, NodeId
 from repro.cluster.node import Node
@@ -22,6 +22,20 @@ class NodeFailure(Exception):
     def __init__(self, node_id: NodeId) -> None:
         super().__init__(f"node {node_id} failed")
         self.node_id = node_id
+
+
+class LinkDown(IOError):
+    """A transfer was attempted over an administratively-dropped link.
+
+    Subclasses :class:`IOError` so the data plane's fetch-retry paths
+    treat a dropped link exactly like any other transient I/O fault:
+    back off and try again (possibly from another source).
+    """
+
+    def __init__(self, src: NodeId, dst: NodeId) -> None:
+        super().__init__(f"link {src} -> {dst} is down")
+        self.src = src
+        self.dst = dst
 
 
 class Cluster:
@@ -42,6 +56,10 @@ class Cluster:
             self._nodes[node_id] = Node(env, node_id, node_spec)
         # Cumulative fabric statistics.
         self.network_bytes_sent = 0
+        # Directed node pairs whose link is administratively down (the
+        # chaos layer's LINK_DOWN fault); transfers over them fail with
+        # :class:`LinkDown` until restored.
+        self._down_links: Set[Tuple[NodeId, NodeId]] = set()
 
     # -- topology -----------------------------------------------------------
     @property
@@ -66,6 +84,19 @@ class Cluster:
     def __iter__(self) -> Iterator[Node]:
         return iter(self._nodes.values())
 
+    # -- link administration (chaos hooks) ----------------------------------
+    def set_link_down(self, src: NodeId, dst: NodeId) -> None:
+        """Drop the directed link ``src -> dst`` (idempotent)."""
+        self._down_links.add((src, dst))
+
+    def set_link_up(self, src: NodeId, dst: NodeId) -> None:
+        """Restore the directed link ``src -> dst`` (idempotent)."""
+        self._down_links.discard((src, dst))
+
+    def link_is_down(self, src: NodeId, dst: NodeId) -> bool:
+        """True while the directed link is administratively dropped."""
+        return (src, dst) in self._down_links
+
     # -- data movement --------------------------------------------------------
     def send(self, src: NodeId, dst: NodeId, nbytes: int) -> Event:
         """Move ``nbytes`` from ``src`` to ``dst``; completes when both
@@ -79,6 +110,10 @@ class Cluster:
             return self._failed_event(src)
         if not dst_node.alive:
             return self._failed_event(dst)
+        if (src, dst) in self._down_links:
+            event = self.env.event()
+            event.fail(LinkDown(src, dst))
+            return event
         self.network_bytes_sent += nbytes
         egress = src_node.nic_out.transfer(nbytes)
         ingress = dst_node.nic_in.transfer(nbytes)

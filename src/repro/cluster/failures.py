@@ -43,8 +43,12 @@ class FailureInjector:
         self.cluster = cluster
         self.plans = list(plans)
         self.injected: List[tuple] = []  # (time, node_id) log, for assertions
-        for plan in self.plans:
-            self._schedule(plan)
+        # Resolve every victim *before* scheduling anything: an invalid
+        # plan (e.g. random selection on a 1-node cluster) must raise with
+        # zero events scheduled, not after some plans are already armed.
+        victims = [self._choose_victim_index(plan) for plan in self.plans]
+        for plan, victim_index in zip(self.plans, victims):
+            self._schedule(plan, victim_index)
 
     def _choose_victim_index(self, plan: FailurePlan) -> int:
         num_nodes = len(self.cluster)
@@ -60,8 +64,7 @@ class FailureInjector:
         rng = seeded_rng(plan.seed, "failure", plan.at_time)
         return int(rng.integers(1, num_nodes))
 
-    def _schedule(self, plan: FailurePlan) -> None:
-        victim_index = self._choose_victim_index(plan)
+    def _schedule(self, plan: FailurePlan, victim_index: int) -> None:
         node = self.cluster.nodes[victim_index]
 
         def kill() -> None:

@@ -19,6 +19,11 @@ class Node:
     interrupt resident tasks and drop store contents).  :meth:`restart`
     brings the node back with empty state, incrementing ``incarnation`` so
     stale references to the previous life can be detected.
+
+    Degradation: the chaos layer (:mod:`repro.chaos`) drives partial
+    faults through :meth:`set_compute_dilation` (CPU slowdown),
+    :meth:`degrade_disk`, and :meth:`degrade_nic` (bandwidth collapse);
+    :meth:`clear_degradations` restores a healthy node.
     """
 
     def __init__(self, env: Environment, node_id: NodeId, spec: "NodeSpec") -> None:
@@ -27,6 +32,9 @@ class Node:
         self.spec = spec
         self.alive = True
         self.incarnation = 0
+        #: Multiplier on task compute time (>= 1 models a slow/contended
+        #: CPU); driven by the chaos layer's SLOW_NODE fault.
+        self.compute_dilation = 1.0
         self.cpu = Resource(env, spec.cores, name=f"{node_id}.cpu")
         self.disk = BandwidthResource(
             env,
@@ -63,6 +71,29 @@ class Node:
         """Read ``nbytes``; shuffle-block reads are random by default."""
         latency = 0.0 if sequential else None
         return self.disk.transfer(nbytes, latency=latency)
+
+    # -- degradation (chaos hooks) ------------------------------------------
+    def set_compute_dilation(self, factor: float) -> None:
+        """Dilate task compute time by ``factor`` (1.0 = healthy)."""
+        if factor <= 0:
+            raise ValueError(f"compute dilation must be positive, got {factor}")
+        self.compute_dilation = float(factor)
+
+    def degrade_disk(self, rate_factor: float) -> None:
+        """Scale disk service rate by ``rate_factor`` (1.0 = healthy)."""
+        self.disk.set_rate_factor(rate_factor)
+
+    def degrade_nic(self, rate_factor: float) -> None:
+        """Scale both NIC directions' service rate (1.0 = healthy)."""
+        self.nic_in.set_rate_factor(rate_factor)
+        self.nic_out.set_rate_factor(rate_factor)
+
+    def clear_degradations(self) -> None:
+        """Restore compute, disk, and NIC to their healthy rates."""
+        self.compute_dilation = 1.0
+        self.disk.set_rate_factor(1.0)
+        self.nic_in.set_rate_factor(1.0)
+        self.nic_out.set_rate_factor(1.0)
 
     # -- liveness -----------------------------------------------------------
     def on_death(self, listener: Callable[["Node"], None]) -> None:

@@ -34,6 +34,45 @@ class TaskExecutionError(ReproError):
         self.cause = cause
 
 
+class RetryExhaustedError(ReproError):
+    """A task exceeded its :class:`~repro.futures.retry.RetryPolicy`'s
+    maximum execution attempts and will not be retried again."""
+
+    def __init__(self, task_id: object, attempts: int) -> None:
+        super().__init__(
+            f"task {task_id} gave up after {attempts} attempts"
+        )
+        self.task_id = task_id
+        self.attempts = attempts
+
+
+class TaskDeadlineError(ReproError):
+    """A task's per-task deadline elapsed before an attempt succeeded."""
+
+    def __init__(self, task_id: object, deadline_s: float) -> None:
+        super().__init__(
+            f"task {task_id} missed its {deadline_s:g}s deadline"
+        )
+        self.task_id = task_id
+        self.deadline_s = deadline_s
+
+
+class InvariantViolationError(ReproError):
+    """A runtime invariant check failed (see :mod:`repro.chaos.invariants`).
+
+    Carries the full list of violation descriptions so a single failure
+    reports everything that is wrong with the run.
+    """
+
+    def __init__(self, violations: list) -> None:
+        summary = "; ".join(violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        super().__init__(
+            f"{len(violations)} invariant violation(s): {summary}{more}"
+        )
+        self.violations = list(violations)
+
+
 class SchedulingError(ReproError):
     """A task could not be placed (e.g. no alive node satisfies it)."""
 

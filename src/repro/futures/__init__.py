@@ -23,12 +23,14 @@ from repro.futures.actor import ActorClass, ActorHandle
 from repro.futures.config import RuntimeConfig
 from repro.futures.refs import ObjectRef
 from repro.futures.remote import RemoteFunction
+from repro.futures.retry import RetryPolicy
 from repro.futures.runtime import Runtime
 from repro.futures.task import CostContext, TaskOptions, TaskPhase
 
 __all__ = [
     "Runtime",
     "RuntimeConfig",
+    "RetryPolicy",
     "ObjectRef",
     "RemoteFunction",
     "ActorClass",

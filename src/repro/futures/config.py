@@ -6,9 +6,10 @@ microbenchmark and the ablation benches toggle them individually.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.units import MB
+from repro.futures.retry import RetryPolicy
 
 
 @dataclass
@@ -77,6 +78,16 @@ class RuntimeConfig:
     #: Backoff before retrying a fetch whose source died mid-transfer.
     fetch_retry_backoff_s: float = 1.0
 
+    #: How task re-executions are paced and bounded.  The default policy
+    #: is transparent (unlimited immediate retries, no deadline); chaos
+    #: and production-style runs tighten it.
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+
+    #: Seconds for which the scheduler avoids placing new tasks on a node
+    #: that just failed (even after it restarts), so a flapping node does
+    #: not keep swallowing work.  0 disables blacklisting.
+    blacklist_cooldown_s: float = 0.0
+
     # -- misc -----------------------------------------------------------------
     #: Root seed for any stochastic runtime behaviour (tie-breaking).
     seed: int = 0
@@ -94,3 +105,5 @@ class RuntimeConfig:
             raise ValueError("prefetch capacity fraction must be in (0, 1]")
         if self.failure_detection_s < 0:
             raise ValueError("failure detection delay must be non-negative")
+        if self.blacklist_cooldown_s < 0:
+            raise ValueError("blacklist cooldown must be non-negative")

@@ -205,3 +205,8 @@ class ObjectDirectory:
     def lost_objects(self) -> List[ObjectId]:
         """Created objects with no surviving copy."""
         return [oid for oid, record in self._records.items() if record.lost]
+
+    def items(self) -> List[tuple]:
+        """A snapshot of ``(object_id, record)`` pairs (for invariant
+        checking and introspection)."""
+        return list(self._records.items())

@@ -75,8 +75,11 @@ class NodeManager:
         # table: a block's consumer may be queued on any node.
         self.spill.needed_soon = runtime.has_pending_consumer
         self._inflight_fetches: Dict[ObjectId, Event] = {}
-        self._procs: set = set()
-        self._active_records: set = set()
+        # Insertion-ordered (dicts, not sets): death handling interrupts
+        # and resubmits in submission order, keeping runs deterministic --
+        # set iteration order follows object hashes, which vary per run.
+        self._procs: Dict[Any, None] = {}
+        self._active_records: Dict[TaskRecord, None] = {}
 
     # -- store callbacks ----------------------------------------------------
     def _on_pressure(self) -> None:
@@ -91,12 +94,12 @@ class NodeManager:
         record.assigned_node = self.node_id
         record.phase = TaskPhase.QUEUED
         self.pending_tasks += 1
-        self._active_records.add(record)
+        self._active_records[record] = None
         proc = self.env.process(
             self._run_task(record), name=f"task-{record.spec.task_id}"
         )
-        self._procs.add(proc)
-        proc.add_callback(lambda _event: self._procs.discard(proc))
+        self._procs[proc] = None
+        proc.add_callback(lambda _event: self._procs.pop(proc, None))
 
     # -- executor failure (§4.2.3) --------------------------------------------
     def kill_executors(self) -> int:
@@ -182,6 +185,14 @@ class NodeManager:
             )
             if overhead > 0:
                 yield self.env.timeout(overhead)
+            # Chaos straggler injection: an installed hook may tax this
+            # attempt with extra latency (deterministic under its seed).
+            delay_hook = self.runtime.task_delay_hook
+            if delay_hook is not None:
+                extra = float(delay_hook(spec, self.node_id))
+                if extra > 0:
+                    self.runtime.counters.add("straggler_delay_s", extra)
+                    yield self.env.timeout(extra)
             # Arguments resident only on local disk are streamed in now.
             for oid, state in arg_state.items():
                 if state == "disk":
@@ -193,7 +204,7 @@ class NodeManager:
             record.phase = TaskPhase.FINISHED
             record.finished_at = self.env.now
             self.runtime.counters.add("tasks_finished", 1)
-            self._active_records.discard(record)
+            self._active_records.pop(record, None)
             self.pending_tasks -= 1
             self.runtime.task_finished(record)
         except Interrupt:
@@ -219,7 +230,7 @@ class NodeManager:
 
     def _abandon(self, record: TaskRecord) -> None:
         if record in self._active_records:
-            self._active_records.discard(record)
+            self._active_records.pop(record, None)
             self.pending_tasks -= 1
 
     # -- argument handling -----------------------------------------------------
@@ -507,9 +518,10 @@ class NodeManager:
         spec: TaskSpec,
         per_item: bool = False,
     ) -> float:
+        dilation = self.node.compute_dilation
         if compute is None:
             throughput = self.runtime.config.cpu_throughput_bytes_per_sec
-            return (input_bytes + output_bytes) / throughput
+            return dilation * (input_bytes + output_bytes) / throughput
         if callable(compute):
             context = CostContext(
                 input_bytes=int(input_bytes),
@@ -524,7 +536,7 @@ class NodeManager:
                 seconds /= max(1, len(spec.return_ids))
         if seconds < 0:
             raise ValueError(f"negative compute time from {spec.fn_name}")
-        return seconds
+        return dilation * seconds
 
     def __repr__(self) -> str:
         return f"<NodeManager {self.node_id} pending={self.pending_tasks}>"

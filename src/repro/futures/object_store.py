@@ -96,6 +96,11 @@ class ObjectStore:
         """True if this store holds the authoritative copy."""
         return self._entries[object_id].primary
 
+    def is_pinned(self, object_id: ObjectId) -> bool:
+        """True if the resident entry is pinned by an active task or
+        in-flight transfer (such entries are never dropped or spilled)."""
+        return self._entries[object_id].pins > 0
+
     @property
     def spare_bytes(self) -> int:
         return self.capacity - self.used_bytes

@@ -1,0 +1,115 @@
+"""Pluggable task retry/backoff policies.
+
+The seed reproduction retried failed work unconditionally and
+immediately -- fine for the single fail-and-restart experiment of
+§5.1.5, but a production shuffle service (FuxiShuffle's motivation)
+needs bounded retries, exponential backoff so a flapping node is not
+hammered, and per-task deadlines so a wedged task surfaces as a typed
+error instead of an infinite loop.  :class:`RetryPolicy` packages those
+knobs; the runtime consults it on every resubmission
+(:meth:`~repro.futures.runtime.Runtime.resubmit_task` and the node-death
+path) and the scheduler consults :attr:`blacklist` state it derives from
+the same failures.
+
+All jitter is deterministic: it is drawn from
+:func:`repro.common.rng.seeded_rng` keyed on (seed, task, attempt), so a
+re-run with the same seed produces byte-identical backoff sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.rng import seeded_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runtime re-executes interrupted or reconstructed tasks.
+
+    The default policy reproduces the seed behaviour exactly: unlimited
+    attempts, zero backoff, no deadline -- so enabling the policy layer
+    costs nothing unless a field is changed.
+    """
+
+    #: Maximum executions of one task (first run included); 0 = unlimited.
+    #: Exceeding it fails the task with
+    #: :class:`~repro.common.errors.RetryExhaustedError`.
+    max_attempts: int = 0
+
+    #: Backoff before retry ``n`` is ``base_backoff_s * multiplier**(n-1)``
+    #: seconds, capped at ``max_backoff_s``; 0 disables backoff entirely.
+    base_backoff_s: float = 0.0
+
+    #: Growth factor of the exponential backoff sequence.
+    backoff_multiplier: float = 2.0
+
+    #: Upper bound on any single backoff delay, seconds.
+    max_backoff_s: float = 60.0
+
+    #: Each delay is scaled by a factor drawn uniformly from
+    #: ``[1 - jitter_fraction, 1 + jitter_fraction]`` (deterministically,
+    #: from the policy seed and the task/attempt being delayed).
+    jitter_fraction: float = 0.0
+
+    #: Wall-clock (simulated) budget from task submission; a resubmission
+    #: past the deadline fails the task with
+    #: :class:`~repro.common.errors.TaskDeadlineError`.  None disables.
+    task_deadline_s: Optional[float] = None
+
+    #: Root seed of the jitter stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0 (0 = unlimited)")
+        if self.base_backoff_s < 0:
+            raise ValueError("base backoff must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ValueError("max_backoff_s must be >= base_backoff_s")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter fraction must be in [0, 1)")
+        if self.task_deadline_s is not None and self.task_deadline_s <= 0:
+            raise ValueError("task deadline must be positive when set")
+
+    # -- decisions ----------------------------------------------------------
+    def should_retry(self, attempts: int) -> bool:
+        """True if a task that has run ``attempts`` times may run again."""
+        return self.max_attempts == 0 or attempts < self.max_attempts
+
+    def deadline_exceeded(self, submitted_at: float, now: float) -> bool:
+        """True if the per-task deadline has elapsed since submission."""
+        return (
+            self.task_deadline_s is not None
+            and now - submitted_at > self.task_deadline_s
+        )
+
+    def backoff_s(self, attempt: int, task_key: object = 0) -> float:
+        """Delay before retry number ``attempt`` (1-based) of one task.
+
+        Deterministic in ``(seed, task_key, attempt)``; the jittered
+        value always stays within ``[raw * (1 - j), raw * (1 + j)]`` of
+        the un-jittered exponential value and never exceeds
+        ``max_backoff_s * (1 + j)``.
+        """
+        if attempt < 1:
+            raise ValueError("retry attempts are 1-based")
+        if self.base_backoff_s <= 0:
+            return 0.0
+        raw = min(
+            self.base_backoff_s * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        if self.jitter_fraction <= 0:
+            return raw
+        rng = seeded_rng(self.seed, "retry-jitter", task_key, attempt)
+        scale = 1.0 + self.jitter_fraction * (2.0 * float(rng.random()) - 1.0)
+        return raw * scale
+
+    def backoff_sequence(self, retries: int, task_key: object = 0) -> List[float]:
+        """The first ``retries`` backoff delays for one task (for tests
+        and capacity planning)."""
+        return [self.backoff_s(n, task_key) for n in range(1, retries + 1)]

@@ -19,12 +19,26 @@ re-execution after a detection delay.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.cluster.fabric import Cluster
 from repro.cluster.node import Node
 from repro.cluster.specs import ClusterSpec, NodeSpec
-from repro.common.errors import ObjectLostError
+from repro.common.errors import (
+    ObjectLostError,
+    RetryExhaustedError,
+    TaskDeadlineError,
+)
 from repro.common.ids import IdGenerator, NodeId, ObjectId, TaskId
 from repro.futures.config import RuntimeConfig
 from repro.futures.directory import ObjectDirectory
@@ -82,6 +96,10 @@ class Runtime:
         self.scheduler = Scheduler(self)
         self.driver_node_id: NodeId = cluster.node_ids[0]
         self._driver = DriverHost(self.env)
+        #: Optional chaos hook: ``hook(spec, node_id) -> extra_seconds``
+        #: taxes a task attempt with additional latency (straggler
+        #: injection).  Installed by :class:`repro.chaos.ChaosInjector`.
+        self.task_delay_hook: Optional[Callable[[TaskSpec, NodeId], float]] = None
 
     # -- construction helpers -------------------------------------------------
     @classmethod
@@ -307,6 +325,7 @@ class Runtime:
         casualties = manager.kill()
         lost_objects = self.directory_objects_on(node.node_id)
         self.counters.add("node_failures", 1)
+        self.scheduler.note_failure(node.node_id)
         self.env.call_later(
             self.config.failure_detection_s,
             lambda: self._after_failure_detected(node, casualties, lost_objects),
@@ -346,8 +365,25 @@ class Runtime:
         self._resubmit(record)
 
     def _resubmit(self, record: TaskRecord) -> None:
-        """Re-execute a task (lineage reconstruction, §4.2.3)."""
+        """Re-execute a task (lineage reconstruction, §4.2.3).
+
+        The configured :class:`~repro.futures.retry.RetryPolicy` governs
+        the re-execution: a task past its attempt budget or per-task
+        deadline fails permanently with a typed error, and retries may be
+        delayed by deterministic exponential backoff.
+        """
         spec = record.spec
+        policy = self.config.retry_policy
+        if not policy.should_retry(spec.attempts):
+            self.task_failed(
+                record, RetryExhaustedError(spec.task_id, spec.attempts)
+            )
+            return
+        if policy.deadline_exceeded(record.submitted_at, self.env.now):
+            self.task_failed(
+                record, TaskDeadlineError(spec.task_id, policy.task_deadline_s)
+            )
+            return
         self.counters.add("tasks_resubmitted", 1)
         for oid in spec.return_ids:
             dep_record = self.directory.maybe_get(oid)
@@ -361,8 +397,22 @@ class Runtime:
             if not self.directory.is_available(dep):
                 # Recursively arrange for the dependency to exist again.
                 self.ensure_available(dep)
-        record.held_refs = held
-        self._schedule_when_ready(record)
+        stale, record.held_refs = record.held_refs, held
+        for ref in stale:
+            # A record interrupted mid-run still holds the previous
+            # attempt's argument refs; release them or the arguments'
+            # refcounts stay inflated forever.
+            ref.release()
+        delay = policy.backoff_s(max(1, spec.attempts), task_key=spec.task_id.index)
+        if delay > 0:
+            # Claim the record now so racing consumers observing a
+            # FINISHED/FAILED phase cannot double-resubmit it during the
+            # backoff window.
+            record.phase = TaskPhase.WAITING_DEPS
+            self.counters.add("retry_backoff_s", delay)
+            self.env.call_later(delay, lambda: self._schedule_when_ready(record))
+        else:
+            self._schedule_when_ready(record)
 
     def ensure_available(self, object_id: ObjectId) -> Event:
         """An event that fires once the object has a live copy somewhere.

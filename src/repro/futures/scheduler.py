@@ -10,6 +10,12 @@ Placement happens when a task's dependencies are all created, so locality
 information is fresh.  Affinity is soft: if the hinted node is dead, the
 task falls through to the normal policy -- this is what lets shuffles
 survive node failures without library-level handling.
+
+Recently-failed nodes are additionally *blacklisted* for a cooldown
+window (``RuntimeConfig.blacklist_cooldown_s``): a node that crashed and
+came straight back is avoided until the window elapses, so a flapping
+node cannot keep swallowing retried work.  Blacklisting is best-effort --
+if every alive node is blacklisted, placement proceeds as if none were.
 """
 
 from __future__ import annotations
@@ -30,6 +36,26 @@ class Scheduler:
 
     def __init__(self, runtime: "Runtime") -> None:
         self.runtime = runtime
+        #: Nodes to avoid until the mapped simulated time (cooldown after
+        #: a failure); stale entries are pruned lazily during placement.
+        self._blacklist_until: Dict[NodeId, float] = {}
+
+    # -- failure feedback ---------------------------------------------------
+    def note_failure(self, node_id: NodeId) -> None:
+        """Record a node failure; blacklist it for the cooldown window."""
+        cooldown = self.runtime.config.blacklist_cooldown_s
+        if cooldown > 0:
+            self._blacklist_until[node_id] = self.runtime.env.now + cooldown
+
+    def is_blacklisted(self, node_id: NodeId) -> bool:
+        """True while ``node_id`` is inside its post-failure cooldown."""
+        until = self._blacklist_until.get(node_id)
+        if until is None:
+            return False
+        if self.runtime.env.now >= until:
+            del self._blacklist_until[node_id]
+            return False
+        return True
 
     def place(self, record: "TaskRecord") -> NodeId:
         """Choose a node for ``record``; raises if the cluster is empty."""
@@ -41,12 +67,22 @@ class Scheduler:
         }
         if not alive:
             raise SchedulingError("no alive nodes to schedule on")
+        preferred = {
+            node_id: manager
+            for node_id, manager in alive.items()
+            if not self.is_blacklisted(node_id)
+        }
+        # Availability beats hygiene: with every alive node blacklisted,
+        # schedule as if none were.
+        if preferred:
+            alive = preferred
 
         options = record.spec.options
         if runtime.config.enable_node_affinity and options.node is not None:
             if options.node in alive:
                 return options.node
-            # Soft affinity: the hinted node is down, fall through.
+            # Soft affinity: the hinted node is down (or blacklisted),
+            # fall through.
 
         if runtime.config.enable_locality_scheduling:
             best = self._locality_choice(record, alive)

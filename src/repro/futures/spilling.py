@@ -99,6 +99,10 @@ class SpillManager:
         """The spill slot of a locally spilled object."""
         return self._slots[object_id]
 
+    def spilled_objects(self) -> List[ObjectId]:
+        """Object ids with a copy on this node's disk (insertion order)."""
+        return list(self._slots)
+
     @property
     def in_flight(self) -> int:
         return self._in_flight

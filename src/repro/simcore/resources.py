@@ -110,7 +110,9 @@ class BandwidthResource:
     Tracks utilisation statistics (busy seconds, bytes served, operation
     count) for the metrics layer.  ``set_failed`` models a device on a dead
     node: queued and future transfers fail with the given exception until
-    the device is revived.
+    the device is revived.  ``set_rate_factor`` degrades (or restores) the
+    effective service rate without failing anything -- the chaos layer uses
+    it to model slow disks and cut NIC bandwidth.
     """
 
     def __init__(
@@ -128,6 +130,10 @@ class BandwidthResource:
         self.bandwidth = float(bandwidth_bytes_per_sec)
         self.per_op_latency = float(per_op_latency)
         self.name = name
+        #: Multiplier on the effective service rate; 1.0 is healthy, values
+        #: in (0, 1) model a degraded device.  Applied when a transfer is
+        #: *served*, so a factor change mid-queue affects waiting transfers.
+        self.rate_factor = 1.0
         self._queue: Deque[_Transfer] = deque()
         self._busy = False
         self._failure: Optional[BaseException] = None
@@ -158,6 +164,16 @@ class BandwidthResource:
             self._serve_next()
         return xfer
 
+    def set_rate_factor(self, factor: float) -> None:
+        """Scale the effective service rate by ``factor`` (must be > 0).
+
+        Affects transfers served from now on, including queued ones; a
+        transfer already in service completes at the rate it started with.
+        """
+        if factor <= 0:
+            raise ValueError(f"rate factor must be positive, got {factor}")
+        self.rate_factor = float(factor)
+
     def set_failed(self, exc: Optional[BaseException]) -> None:
         """Fail all queued transfers; ``None`` revives the device."""
         self._failure = exc
@@ -175,7 +191,7 @@ class BandwidthResource:
             return
         self._busy = True
         xfer = self._queue.popleft()
-        duration = xfer.latency + xfer.nbytes / self.bandwidth
+        duration = xfer.latency + xfer.nbytes / (self.bandwidth * self.rate_factor)
         self.busy_seconds += duration
         self.bytes_served += xfer.nbytes
         self.ops_served += 1

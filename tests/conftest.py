@@ -1,10 +1,17 @@
 """Shared fixtures: small clusters and runtimes for unit tests."""
 
+from typing import List
+
 import pytest
 
 from repro.cluster import DiskSpec, NicSpec, NodeSpec
 from repro.common.units import GIB, MIB
 from repro.futures import Runtime, RuntimeConfig
+
+#: Registries currently collecting runtimes for post-test invariant
+#: checking; ``make_runtime`` appends every runtime it builds to each
+#: active registry (see the ``check_invariants`` fixture).
+_active_invariant_registries: List[List[Runtime]] = []
 
 
 def make_node_spec(
@@ -30,9 +37,12 @@ def make_node_spec(
 def make_runtime(
     num_nodes: int = 2, config: RuntimeConfig = None, **spec_kwargs
 ) -> Runtime:
-    return Runtime.create(
+    runtime = Runtime.create(
         make_node_spec(**spec_kwargs), num_nodes, config=config or RuntimeConfig()
     )
+    for registry in _active_invariant_registries:
+        registry.append(runtime)
+    return runtime
 
 
 @pytest.fixture
@@ -43,3 +53,30 @@ def rt() -> Runtime:
 @pytest.fixture
 def rt_single() -> Runtime:
     return make_runtime(num_nodes=1)
+
+
+@pytest.fixture
+def check_invariants():
+    """Opt-in: validate every runtime the test built, after it passes.
+
+    Apply with ``pytestmark = pytest.mark.usefixtures("check_invariants")``
+    (or per-test).  After the test body returns, each runtime created via
+    :func:`make_runtime` is drained to quiesce and run through the chaos
+    layer's :class:`~repro.chaos.InvariantChecker`; any violation (leaked
+    refcounts, inconsistent locations, unreconstructable live objects,
+    stuck tasks) fails the test.
+    """
+    from repro.chaos import InvariantChecker
+
+    registry: List[Runtime] = []
+    _active_invariant_registries.append(registry)
+    try:
+        yield
+    finally:
+        _active_invariant_registries.remove(registry)
+    for runtime in registry:
+        runtime.env.run()  # drain pending recoveries/timers to quiesce
+        violations = InvariantChecker(runtime).check()
+        assert not violations, (
+            f"invariant violations after test: {violations[:10]}"
+        )

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.simcore",
     "repro.cluster",
     "repro.futures",
+    "repro.chaos",
     "repro.blocks",
     "repro.shuffle",
     "repro.sort",

@@ -16,6 +16,10 @@ from repro.sort import SortJobConfig, VARIANTS, run_sort
 
 from tests.conftest import make_runtime
 
+# Recovery must leave the data plane self-consistent, not just produce a
+# validated sort: check the full invariant suite at quiesce.
+pytestmark = pytest.mark.usefixtures("check_invariants")
+
 
 @pytest.mark.parametrize("variant", VARIANTS)
 def test_variant_recovers_from_node_failure(variant):

@@ -9,6 +9,11 @@ from repro.futures import RuntimeConfig
 
 from tests.conftest import make_runtime
 
+# Every runtime these tests build must satisfy the data-plane invariants
+# (refcount balance, location consistency, reconstructable lineage) once
+# it quiesces -- even after the failures injected below.
+pytestmark = pytest.mark.usefixtures("check_invariants")
+
 
 def _blob(mb):
     return np.zeros(int(mb * MB), dtype=np.uint8)

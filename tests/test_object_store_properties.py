@@ -98,3 +98,29 @@ def test_spill_candidates_are_unpinned_primaries_within_budget(sizes, pin_mask):
         total = sum(size for _, size in candidates)
         if candidates:
             assert total - candidates[-1][1] < target
+
+
+# -- whole-runtime invariants under seeded chaos ---------------------------
+
+_chaos_case = st.tuples(
+    st.sampled_from(["simple", "push", "streaming"]),
+    st.sampled_from(
+        ["node_crash", "slow_node", "object_loss", "straggler", "link_down"]
+    ),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(case=_chaos_case)
+def test_invariants_hold_after_any_seeded_chaos_run(case):
+    """Property: whatever (variant, fault, seed) chaos throws at a run,
+    the quiesced runtime passes the full invariant suite and still
+    produces the oracle output."""
+    from repro.chaos import FaultKind, expected_output, matrix_plan, run_chaos_shuffle
+
+    variant, kind_value, seed = case
+    plan = matrix_plan(FaultKind(kind_value), seed=seed)
+    report = run_chaos_shuffle(variant, plan, seed=seed)
+    assert report.violations == []
+    assert report.output == expected_output(seed)

@@ -1,0 +1,229 @@
+"""Retry/backoff policies and post-failure scheduler blacklisting."""
+
+import pytest
+
+from repro.common.errors import RetryExhaustedError, TaskDeadlineError
+from repro.futures import RetryPolicy, RuntimeConfig
+
+from tests.conftest import make_runtime
+
+
+def _fast_detect(**kwargs):
+    return RuntimeConfig(failure_detection_s=1.0, **kwargs)
+
+
+class TestPolicyMath:
+    def test_default_policy_reproduces_seed_behaviour(self):
+        """Unlimited immediate retries, no deadline: the zero-cost default."""
+        policy = RetryPolicy()
+        assert policy.should_retry(10**6)
+        assert policy.backoff_s(1) == 0.0
+        assert policy.backoff_s(50) == 0.0
+        assert not policy.deadline_exceeded(0.0, 1e12)
+
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+        assert not policy.should_retry(4)
+
+    def test_exponential_sequence_without_jitter(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, backoff_multiplier=2.0, max_backoff_s=8.0
+        )
+        assert policy.backoff_sequence(6) == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0,
+            backoff_multiplier=2.0,
+            max_backoff_s=60.0,
+            jitter_fraction=0.25,
+            seed=3,
+        )
+        first = policy.backoff_sequence(20, task_key=7)
+        assert first == policy.backoff_sequence(20, task_key=7)
+        for attempt, delay in enumerate(first, start=1):
+            raw = min(2.0 ** (attempt - 1), 60.0)
+            assert raw * 0.75 <= delay <= raw * 1.25
+        # Jitter actually perturbs (not all delays exactly raw)...
+        assert any(
+            delay != min(2.0 ** (attempt - 1), 60.0)
+            for attempt, delay in enumerate(first, start=1)
+        )
+        # ...and different seeds / task keys give different streams.
+        reseeded = RetryPolicy(
+            base_backoff_s=1.0, jitter_fraction=0.25, seed=4
+        ).backoff_sequence(20, task_key=7)
+        assert reseeded != first
+        assert policy.backoff_sequence(20, task_key=8) != first
+
+    def test_deadline_predicate(self):
+        policy = RetryPolicy(task_deadline_s=5.0)
+        assert not policy.deadline_exceeded(10.0, 15.0)
+        assert policy.deadline_exceeded(10.0, 15.1)
+
+    def test_validation_rejects_malformed_policies(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_s=10.0, max_backoff_s=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(task_deadline_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0)
+
+
+class TestRuntimeIntegration:
+    def test_retry_exhaustion_surfaces_typed_error(self):
+        rt = make_runtime(
+            num_nodes=3,
+            config=_fast_detect(retry_policy=RetryPolicy(max_attempts=1)),
+        )
+        victim = rt.cluster.node_ids[1]
+        make = rt.remote(lambda: "precious").options(node=victim)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            rt.cluster.node(victim).fail()
+            with pytest.raises(RetryExhaustedError):
+                rt.get(ref)
+
+        rt.run(driver)
+        assert rt.counters.get("tasks_resubmitted") == 0
+        assert rt.counters.get("tasks_failed") >= 1
+
+    def test_deadline_surfaces_typed_error(self):
+        rt = make_runtime(
+            num_nodes=3,
+            config=_fast_detect(retry_policy=RetryPolicy(task_deadline_s=5.0)),
+        )
+        victim = rt.cluster.node_ids[1]
+        make = rt.remote(lambda: "precious").options(node=victim)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            rt.sleep(10.0)  # burn the deadline while the object is alive
+            rt.cluster.node(victim).fail()
+            with pytest.raises(TaskDeadlineError):
+                rt.get(ref)
+
+        rt.run(driver)
+
+    def test_backoff_delays_resubmission(self):
+        rt = make_runtime(
+            num_nodes=3,
+            config=_fast_detect(retry_policy=RetryPolicy(base_backoff_s=5.0)),
+        )
+        victim = rt.cluster.node_ids[1]
+        make = rt.remote(lambda: "precious").options(node=victim)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            failed_at = rt.timestamp()
+            rt.cluster.node(victim).fail()
+            value = rt.get(ref)
+            return value, rt.timestamp() - failed_at
+
+        value, recovery = rt.run(driver)
+        assert value == "precious"
+        # Recovery pays failure detection (1s) plus the first backoff (5s).
+        assert recovery >= 6.0
+        assert rt.counters.get("retry_backoff_s") >= 5.0
+        assert rt.counters.get("tasks_resubmitted") >= 1
+
+    def test_retries_still_unbounded_by_default(self):
+        rt = make_runtime(num_nodes=3, config=_fast_detect())
+        victim = rt.cluster.node_ids[1]
+        make = rt.remote(lambda: "precious").options(node=victim)
+
+        def driver():
+            ref = make.remote()
+            rt.wait([ref], num_returns=1)
+            rt.cluster.node(victim).fail()
+            return rt.get(ref)
+
+        assert rt.run(driver) == "precious"
+        assert rt.counters.get("retry_backoff_s") == 0
+
+
+class TestSchedulerBlacklist:
+    def test_cooldown_expires(self):
+        rt = make_runtime(
+            num_nodes=3, config=RuntimeConfig(blacklist_cooldown_s=10.0)
+        )
+        target = rt.cluster.node_ids[1]
+        rt.scheduler.note_failure(target)
+        assert rt.scheduler.is_blacklisted(target)
+        observed = []
+        rt.env.call_later(
+            9.0, lambda: observed.append(rt.scheduler.is_blacklisted(target))
+        )
+        rt.env.call_later(
+            11.0, lambda: observed.append(rt.scheduler.is_blacklisted(target))
+        )
+        rt.env.run()
+        assert observed == [True, False]
+
+    def test_zero_cooldown_disables_blacklisting(self):
+        rt = make_runtime(num_nodes=3)  # default config: cooldown 0
+        target = rt.cluster.node_ids[1]
+        rt.scheduler.note_failure(target)
+        assert not rt.scheduler.is_blacklisted(target)
+
+    def test_placement_avoids_blacklisted_node(self):
+        rt = make_runtime(
+            num_nodes=3, config=RuntimeConfig(blacklist_cooldown_s=100.0)
+        )
+        target = rt.cluster.node_ids[1]
+        rt.scheduler.note_failure(target)
+        work = rt.remote(lambda: 1)
+
+        def driver():
+            return rt.get([work.remote() for _ in range(9)])
+
+        assert rt.run(driver) == [1] * 9
+        placements = {rec.assigned_node for rec in rt.tasks.values()}
+        assert target not in placements
+        assert len(placements) >= 2  # work still spreads across the rest
+
+    def test_all_blacklisted_falls_back_to_any_alive_node(self):
+        rt = make_runtime(
+            num_nodes=2, config=RuntimeConfig(blacklist_cooldown_s=100.0)
+        )
+        for node_id in rt.cluster.node_ids:
+            rt.scheduler.note_failure(node_id)
+        work = rt.remote(lambda: "still runs")
+
+        def driver():
+            return rt.get(work.remote())
+
+        assert rt.run(driver) == "still runs"
+
+    def test_node_death_populates_blacklist(self):
+        rt = make_runtime(
+            num_nodes=3,
+            config=_fast_detect(blacklist_cooldown_s=30.0),
+        )
+        victim = rt.cluster.node_ids[2]
+
+        def driver():
+            rt.cluster.node(victim).fail()
+            rt.sleep(0.1)
+            return rt.scheduler.is_blacklisted(victim)
+
+        assert rt.run(driver)
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(blacklist_cooldown_s=-1.0)
