@@ -1,0 +1,61 @@
+"""Multi-tenant throughput and fairness vs. concurrency (jobs layer).
+
+The control plane's figure of merit: as the fleet grows from 1 to 16
+concurrent jobs across 4 tenants, aggregate throughput (jobs per
+simulated minute) should rise with available parallelism while the
+weighted fair-share scheduler keeps the max/min completion-time ratio
+bounded -- equal-weight jobs of identical shape should not diverge even
+when 16 of them contend for the same task slots.
+"""
+
+import pytest
+
+from repro.jobs import mixed_workload, run_jobs
+from repro.metrics import ResultTable
+
+from benchmarks._harness import print_table
+
+SEED = 4
+FLEET_SIZES = (1, 4, 16)
+
+
+def _run_figure():
+    table = ResultTable(
+        "Jobs layer: throughput and fairness vs. concurrency",
+        [
+            "num_jobs",
+            "makespan_s",
+            "jobs_per_min",
+            "mean_job_s",
+            "fairness_ratio",
+            "all_done",
+        ],
+    )
+    for num_jobs in FLEET_SIZES:
+        tenants, specs = mixed_workload(SEED, num_jobs=num_jobs)
+        report = run_jobs(specs, tenants)
+        durations = [j.duration for j in report.jobs if j.duration]
+        table.add_row(
+            num_jobs=num_jobs,
+            makespan_s=report.duration,
+            jobs_per_min=60.0 * num_jobs / report.duration,
+            mean_job_s=sum(durations) / len(durations),
+            fairness_ratio=report.completion_ratio,
+            all_done=report.all_done and not report.incorrect,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="jobs")
+def test_jobs_concurrency_throughput_and_fairness(benchmark):
+    table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
+    print_table(table)
+    assert all(row["all_done"] for row in table.rows)
+    one = table.find(num_jobs=1)
+    sixteen = table.find(num_jobs=16)
+    # Concurrency pays: 16 jobs share the cluster instead of queueing
+    # serially, so aggregate throughput must beat the single-job rate.
+    assert sixteen["jobs_per_min"] > one["jobs_per_min"]
+    # Fair sharing holds at full contention (the acceptance bound).
+    assert sixteen["fairness_ratio"] is not None
+    assert sixteen["fairness_ratio"] <= 2.0

@@ -31,8 +31,11 @@ from repro.chaos.invariants import InvariantChecker
 from repro.chaos.harness import (
     ChaosRunReport,
     SHUFFLE_VARIANTS,
+    default_node_spec,
     expected_output,
+    make_inputs,
     run_chaos_shuffle,
+    submit_variant,
 )
 
 __all__ = [
@@ -44,6 +47,9 @@ __all__ = [
     "InvariantChecker",
     "ChaosRunReport",
     "SHUFFLE_VARIANTS",
+    "default_node_spec",
     "expected_output",
+    "make_inputs",
     "run_chaos_shuffle",
+    "submit_variant",
 ]

@@ -74,8 +74,12 @@ class ChaosRunReport:
         return int(self.stats.get("tasks_resubmitted", 0))
 
 
-def _make_inputs(seed: int, num_maps: int, values_per_part: int) -> List[List[int]]:
-    """Seeded integer map inputs (plain values, so lineage is complete)."""
+def make_inputs(seed: int, num_maps: int, values_per_part: int) -> List[List[int]]:
+    """Seeded integer map inputs (plain values, so lineage is complete).
+
+    Public so other workload builders (the multi-tenant jobs layer) can
+    run the exact same oracle-checked sort jobs.
+    """
     rng = seeded_rng(seed, "chaos-data")
     return [
         [int(rng.integers(0, 10_000)) for _ in range(values_per_part)]
@@ -88,14 +92,17 @@ def expected_output(
 ) -> Tuple[Tuple[int, ...], ...]:
     """The oracle: what every variant must produce for these parameters,
     computed directly without the runtime."""
-    inputs = _make_inputs(seed, num_maps, values_per_part)
+    inputs = make_inputs(seed, num_maps, values_per_part)
     return tuple(
         tuple(sorted(v for part in inputs for v in part if v % num_reduces == r))
         for r in range(num_reduces)
     )
 
 
-def _default_node_spec() -> NodeSpec:
+def default_node_spec() -> NodeSpec:
+    """The homogeneous node shape chaos runs (and the jobs smoke
+    workload) build clusters from: small store, modest disk and NIC, so
+    spilling and transfer effects show up at toy scales."""
     return NodeSpec(
         name="chaos-node",
         cores=4,
@@ -106,7 +113,7 @@ def _default_node_spec() -> NodeSpec:
     )
 
 
-def _submit_variant(
+def submit_variant(
     variant: str, rt: Runtime, inputs: List[List[int]], num_reduces: int
 ) -> List[Any]:
     """Submit one variant's task graph; returns the reduce-output refs."""
@@ -207,12 +214,12 @@ def run_chaos_shuffle(
             retry_policy=retry_policy or RetryPolicy(),
             blacklist_cooldown_s=blacklist_cooldown_s,
         )
-    rt = Runtime.create(_default_node_spec(), num_nodes, config=config)
+    rt = Runtime.create(default_node_spec(), num_nodes, config=config)
     injector = ChaosInjector(rt, plan) if plan is not None else None
-    inputs = _make_inputs(seed, num_maps, values_per_part)
+    inputs = make_inputs(seed, num_maps, values_per_part)
 
     def driver() -> List[Tuple[int, ...]]:
-        refs = _submit_variant(variant, rt, inputs, num_reduces)
+        refs = submit_variant(variant, rt, inputs, num_reduces)
         return rt.get(refs)
 
     values = rt.run(driver)

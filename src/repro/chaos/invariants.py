@@ -22,6 +22,10 @@ validates:
   everything when lineage reconstruction is disabled by config.
 - **Task completion** -- every submitted task reached a terminal phase
   (a task parked in ``WAITING_DEPS``/``QUEUED`` forever is a lost wakeup).
+- **Per-job accounting** -- when the multi-tenant jobs layer is active
+  (``runtime.job_counters`` non-empty), every attributable counter's
+  per-job buckets sum exactly to the global counter: no work is double-
+  charged and none escapes attribution.
 
 ``check()`` returns human-readable violation strings (empty = healthy);
 ``assert_clean()`` raises :class:`~repro.common.errors.InvariantViolationError`.
@@ -56,6 +60,7 @@ class InvariantChecker:
         violations.extend(self._check_spill_accounting())
         violations.extend(self._check_durability())
         violations.extend(self._check_task_completion())
+        violations.extend(self._check_job_accounting())
         return violations
 
     def assert_clean(self) -> None:
@@ -242,6 +247,35 @@ class InvariantChecker:
         visiting.discard(oid)
         memo[oid] = ok
         return ok
+
+    # -- per-job accounting ------------------------------------------------------
+    def _check_job_accounting(self) -> List[str]:
+        """Per-job counter buckets must sum to the global counters.
+
+        Only counters that appear in some job bucket are checked: charges
+        flow through ``Runtime.charge_task``/``charge_object``, which add
+        to a bucket and the global counters together, so any key present
+        in a bucket is fully attributed by construction -- drift means a
+        call site bypassed the charge path.  Skipped entirely when the
+        jobs layer never ran (no buckets exist).
+        """
+        out = []
+        buckets = self.runtime.job_counters
+        if not buckets:
+            return out
+        keys: Set[str] = set()
+        for bucket in buckets.values():
+            keys.update(bucket)
+        for key in sorted(keys):
+            total = sum(bucket.get(key) for bucket in buckets.values())
+            global_value = self.runtime.counters.get(key)
+            tolerance = max(1e-6, 1e-9 * abs(global_value))
+            if abs(total - global_value) > tolerance:
+                out.append(
+                    f"counter {key!r}: job buckets sum to {total:g} but the "
+                    f"global counter reads {global_value:g} (attribution drift)"
+                )
+        return out
 
     # -- task completion --------------------------------------------------------
     def _check_task_completion(self) -> List[str]:

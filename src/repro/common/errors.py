@@ -77,5 +77,55 @@ class SchedulingError(ReproError):
     """A task could not be placed (e.g. no alive node satisfies it)."""
 
 
+class JobControlError(ReproError):
+    """Base class for multi-tenant job control plane errors
+    (:mod:`repro.jobs`)."""
+
+
+class UnknownTenantError(JobControlError):
+    """A job named a tenant the admission controller has never seen."""
+
+    def __init__(self, tenant: str) -> None:
+        super().__init__(f"unknown tenant {tenant!r}; register it first")
+        self.tenant = tenant
+
+
+class TenantQuotaExceededError(JobControlError):
+    """A job's resource demand exceeds its tenant's quota outright, so
+    queueing it could never help -- it is rejected at submission."""
+
+    def __init__(
+        self, tenant: str, resource: str, needed: float, limit: float
+    ) -> None:
+        super().__init__(
+            f"tenant {tenant!r} quota exceeded: job needs {needed:g} "
+            f"{resource}, quota allows {limit:g}"
+        )
+        self.tenant = tenant
+        self.resource = resource
+        self.needed = needed
+        self.limit = limit
+
+
+class AdmissionQueueFullError(JobControlError):
+    """A tenant's admission queue is at its bound; submitting more work
+    must wait for earlier jobs to drain (backpressure, not buffering)."""
+
+    def __init__(self, tenant: str, depth: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} admission queue full ({depth} jobs queued)"
+        )
+        self.tenant = tenant
+        self.depth = depth
+
+
+class JobCancelledError(JobControlError):
+    """The job was cancelled before (or while) running."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"job {job_id!r} was cancelled")
+        self.job_id = job_id
+
+
 class LineageReconstructionError(ReproError):
     """Reconstruction failed: lineage was truncated or inputs unrecoverable."""

@@ -5,11 +5,19 @@ popularity, scheduler tie-breaking jitter, failure times) flows from an
 explicit seed so that tests and benchmark tables are exactly repeatable.
 ``derive_seed`` splits a root seed into independent streams by name, so
 adding a new consumer never perturbs existing ones.
+
+Subsystems that want a *named* stream -- one whose derivation path is
+declared once and reused everywhere -- register it with
+:func:`register_stream` and draw from it with :func:`named_rng`.  The
+registry makes stream identities explicit and collision-checked: two
+subsystems cannot silently share (and therefore correlate) a stream, and
+renaming a path is a reviewable one-line change.
 """
 
 from __future__ import annotations
 
 import hashlib
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -35,3 +43,48 @@ def derive_seed(root_seed: int, *names: object) -> int:
 def seeded_rng(root_seed: int, *names: object) -> np.random.Generator:
     """Return a numpy ``Generator`` seeded from ``derive_seed``."""
     return np.random.default_rng(derive_seed(root_seed, *names))
+
+
+#: Registered named streams: stream name -> derivation path.
+_NAMED_STREAMS: Dict[str, Tuple[object, ...]] = {}
+
+
+def register_stream(name: str, *path: object) -> None:
+    """Declare a named RNG stream deriving from ``path``.
+
+    Idempotent for identical re-registration; raises ``ValueError`` when
+    the name is already bound to a *different* path (a collision that
+    would correlate two supposedly independent streams).
+    """
+    key = tuple(path) if path else (name,)
+    existing = _NAMED_STREAMS.get(name)
+    if existing is not None:
+        if existing != key:
+            raise ValueError(
+                f"RNG stream {name!r} already registered with path "
+                f"{existing!r}, refusing to rebind to {key!r}"
+            )
+        return
+    _NAMED_STREAMS[name] = key
+
+
+def named_rng(root_seed: int, name: str, *extra: object) -> np.random.Generator:
+    """A generator for the registered stream ``name`` under ``root_seed``.
+
+    ``extra`` path elements split the stream further (e.g. per job index)
+    without registering each split.  Raises ``KeyError`` for streams
+    never registered -- typos fail loudly instead of minting ad-hoc
+    streams.
+    """
+    path = _NAMED_STREAMS.get(name)
+    if path is None:
+        raise KeyError(
+            f"RNG stream {name!r} is not registered; call register_stream first"
+        )
+    return seeded_rng(root_seed, *path, *extra)
+
+
+#: Stream ordering multi-tenant job arrivals (registered here so every
+#: consumer -- workload builder, benchmarks, tests -- shares one path).
+JOB_ARRIVAL_STREAM = "jobs/arrival"
+register_stream(JOB_ARRIVAL_STREAM, "jobs", "arrival")

@@ -21,10 +21,12 @@ Public surface::
 
 from repro.futures.actor import ActorClass, ActorHandle
 from repro.futures.config import RuntimeConfig
+from repro.futures.driver import DriverHandle
 from repro.futures.refs import ObjectRef
 from repro.futures.remote import RemoteFunction
 from repro.futures.retry import RetryPolicy
-from repro.futures.runtime import Runtime
+from repro.futures.runtime import UNATTRIBUTED_JOB, Runtime
+from repro.futures.scheduler import FairShareScheduler, Scheduler
 from repro.futures.task import CostContext, TaskOptions, TaskPhase
 
 __all__ = [
@@ -38,4 +40,8 @@ __all__ = [
     "TaskOptions",
     "TaskPhase",
     "CostContext",
+    "DriverHandle",
+    "Scheduler",
+    "FairShareScheduler",
+    "UNATTRIBUTED_JOB",
 ]

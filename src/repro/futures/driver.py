@@ -2,27 +2,33 @@
 
 The paper's shuffle libraries are ordinary blocking Python programs
 (Listings 1-3): they call ``.remote()`` eagerly and block on ``get`` /
-``wait``.  To run such code unchanged against the simulated cluster, the
+``wait``.  To run such code unchanged against the simulated cluster, each
 driver executes on its own thread with a strict handoff against the
-simulation loop: at any instant exactly one of {driver thread, simulation
-loop} is running.
+simulation loop: at any instant exactly one of {a driver thread, the
+simulation loop} is running.
 
-- While the driver runs, the simulation is parked, so driver-side calls
+- While a driver runs, the simulation is parked, so driver-side calls
   into runtime state need no locks and simulated time does not advance
   (driver CPU time is free, as in the paper's model where the driver only
   submits metadata).
-- When the driver blocks (``get``, ``wait``, ``sleep``), it hands the
+- When a driver blocks (``get``, ``wait``, ``sleep``), it hands the
   loop a wake-up event; the loop steps the simulation until that event is
   processed, then hands control back.
 
-The result is fully deterministic: the interleaving is a function of the
-program, not of OS scheduling.
+A host serves one *primary* driver (started by :meth:`DriverHost.run`)
+plus any number of *subdrivers* it spawns (:meth:`DriverHost.spawn`).
+Subdrivers are how the multi-tenant job control plane (:mod:`repro.jobs`)
+runs many concurrent blocking jobs against one cluster: each job is an
+ordinary driver program, parked and resumed cooperatively.  Handoffs
+follow spawn order among runnable drivers, so the interleaving is a
+deterministic function of the program, not of OS scheduling.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.simcore import Environment, Event
 
@@ -31,86 +37,252 @@ class DriverError(RuntimeError):
     """The simulation deadlocked or was misused from the driver."""
 
 
+class _DriverChannel:
+    """One cooperatively scheduled driver thread and its handoff state."""
+
+    def __init__(self, host: "DriverHost", name: str, label: Optional[str]) -> None:
+        self.host = host
+        self.name = name
+        #: Opaque tag for work submitted while this driver runs (the jobs
+        #: layer sets it to the job id so tasks are attributed).
+        self.label = label
+        #: Released by the controller to resume this driver.
+        self.sem = threading.Semaphore(0)
+        #: The event this driver is parked on (None = runnable).
+        self.wake: Optional[Event] = None
+        #: ("ok", value) or ("err", exc) once the body returned.
+        self.outcome: Optional[Tuple[str, Any]] = None
+        #: Simulation event triggered with the body's result at completion
+        #: (what :meth:`DriverHost.join` blocks on).
+        self.done: Event = host.env.event()
+        self.reaped = False
+        self.thread: Optional[threading.Thread] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.outcome is not None
+
+    @property
+    def runnable(self) -> bool:
+        """True when the controller may hand this driver the CPU."""
+        if self.outcome is not None:
+            return False
+        return self.wake is None or self.wake.processed
+
+    def start(self, fn: Callable[..., Any], args: Any, kwargs: Any) -> None:
+        """Launch the thread; it parks until the controller resumes it."""
+
+        def body() -> None:
+            self.sem.acquire()  # wait for the first handoff
+            try:
+                result = fn(*args, **kwargs)
+                self.outcome = ("ok", result)
+            except BaseException as exc:  # noqa: BLE001 - re-raised at join/run
+                self.outcome = ("err", exc)
+            finally:
+                self.host._sim_sem.release()
+
+        self.thread = threading.Thread(
+            target=body, name=f"repro-{self.name}", daemon=True
+        )
+        self.thread.start()
+
+    def __repr__(self) -> str:
+        state = (
+            "finished" if self.finished
+            else "parked" if self.wake is not None and not self.wake.processed
+            else "runnable"
+        )
+        return f"<driver {self.name} {state}>"
+
+
+class DriverHandle:
+    """Public handle on a spawned subdriver (see :meth:`DriverHost.spawn`).
+
+    ``done`` is a simulation event that fires with the subdriver's return
+    value (or its exception) when the body finishes; pass the handle to
+    :meth:`DriverHost.join` to block on it from another driver.
+    """
+
+    def __init__(self, channel: _DriverChannel) -> None:
+        self._channel = channel
+
+    @property
+    def name(self) -> str:
+        """The subdriver's diagnostic name."""
+        return self._channel.name
+
+    @property
+    def label(self) -> Optional[str]:
+        """The work-attribution label the subdriver was spawned with."""
+        return self._channel.label
+
+    @property
+    def done(self) -> Event:
+        """Completion event (fires with the body's result, or its error)."""
+        return self._channel.done
+
+    @property
+    def finished(self) -> bool:
+        """True once the subdriver's body has returned or raised."""
+        return self._channel.finished
+
+    def __repr__(self) -> str:
+        return f"<DriverHandle {self._channel!r}>"
+
+
 class DriverHost:
-    """Runs one driver function against a simulation environment."""
+    """Runs one primary driver (plus spawned subdrivers) against a
+    simulation environment, one thread at a time."""
 
     def __init__(self, env: Environment) -> None:
         self.env = env
-        self._thread: Optional[threading.Thread] = None
         self._sim_sem = threading.Semaphore(0)
-        self._driver_sem = threading.Semaphore(0)
-        self._wake: Optional[Event] = None
-        self._outcome: Optional[Tuple[str, Any]] = None
+        self._channels: Dict[threading.Thread, _DriverChannel] = {}
+        self._order: List[_DriverChannel] = []
+        self._seq = itertools.count()
         self._active = False
 
     @property
     def in_driver(self) -> bool:
-        """True when called from the driver thread of an active run."""
-        return self._active and threading.current_thread() is self._thread
+        """True when called from a driver thread of an active run."""
+        return self._active and threading.current_thread() in self._channels
 
+    def current_label(self) -> Optional[str]:
+        """The label of the driver thread making this call (None outside
+        drivers or for unlabeled drivers) -- the task-attribution hook."""
+        channel = self._channels.get(threading.current_thread())
+        return channel.label if channel is not None else None
+
+    # -- the controller loop -------------------------------------------------
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
-        """Execute ``fn(*args, **kwargs)`` as the driver; return its result.
+        """Execute ``fn(*args, **kwargs)`` as the primary driver; return its
+        result.
 
         Must be called from the simulation's controlling thread.  The
-        simulation advances only while the driver is blocked.
+        simulation advances only while every driver is blocked.  Raises
+        :class:`DriverError` if the primary returns while spawned
+        subdrivers are still running -- a driver that forks jobs must join
+        them (the job control plane always does).
         """
         if self._active:
             raise DriverError("a driver is already running")
         self._active = True
-        self._outcome = None
-        self._wake = None
-
-        def body() -> None:
-            try:
-                result = fn(*args, **kwargs)
-                self._outcome = ("ok", result)
-            except BaseException as exc:  # noqa: BLE001 - re-raised in run()
-                self._outcome = ("err", exc)
-            finally:
-                self._sim_sem.release()
-
-        self._thread = threading.Thread(
-            target=body, name="repro-driver", daemon=True
-        )
-        self._thread.start()
         try:
-            while True:
-                self._sim_sem.acquire()
-                if self._outcome is not None:
-                    self._thread.join(timeout=30)
-                    kind, value = self._outcome
-                    if kind == "err":
-                        raise value
-                    return value
-                wake = self._wake
-                assert wake is not None, "driver blocked without a wake event"
-                self._drive_until(wake)
-                self._driver_sem.release()
+            primary = self._make_channel(fn, args, kwargs, name="driver", label=None)
+            while not primary.finished:
+                channel = self._next_runnable()
+                if channel is not None:
+                    self._hand_off(channel)
+                    continue
+                if self.env.peek() == float("inf"):
+                    parked = ", ".join(
+                        f"{c.name} on {c.wake!r}"
+                        for c in self._order
+                        if not c.finished
+                    )
+                    raise DriverError(
+                        f"simulation deadlock at t={self.env.now}: drivers "
+                        f"blocked ({parked}) but no events remain"
+                    )
+                self.env.step()
+            if primary.thread is not None:
+                primary.thread.join(timeout=30)
+            kind, value = primary.outcome  # type: ignore[misc]
+            if kind == "err":
+                raise value
+            live = [c.name for c in self._order if not c.finished]
+            if live:
+                raise DriverError(
+                    f"primary driver returned with subdrivers still "
+                    f"running: {live}; join them before returning"
+                )
+            return value
         finally:
             self._active = False
+            self._channels.clear()
+            self._order.clear()
 
-    def _drive_until(self, wake: Event) -> None:
-        env = self.env
-        while not wake.processed:
-            if env.peek() == float("inf"):
-                raise DriverError(
-                    f"simulation deadlock at t={env.now}: driver is blocked "
-                    f"on {wake!r} but no events remain"
-                )
-            env.step()
+    def _make_channel(
+        self,
+        fn: Callable[..., Any],
+        args: Any,
+        kwargs: Any,
+        name: str,
+        label: Optional[str],
+    ) -> _DriverChannel:
+        channel = _DriverChannel(self, name=name, label=label)
+        channel.start(fn, args, kwargs)
+        assert channel.thread is not None
+        self._channels[channel.thread] = channel
+        self._order.append(channel)
+        return channel
 
-    # -- called from the driver thread ----------------------------------------
+    def _next_runnable(self) -> Optional[_DriverChannel]:
+        """The runnable driver that spawned earliest (deterministic)."""
+        for channel in self._order:
+            if channel.runnable:
+                return channel
+        return None
+
+    def _hand_off(self, channel: _DriverChannel) -> None:
+        """Run ``channel`` until it parks or finishes; then reap."""
+        channel.wake = None
+        channel.sem.release()
+        self._sim_sem.acquire()
+        if channel.finished and not channel.reaped:
+            channel.reaped = True
+            kind, value = channel.outcome  # type: ignore[misc]
+            # Triggering env events is safe here: the simulation is parked.
+            if kind == "ok":
+                channel.done.succeed(value)
+            else:
+                channel.done.fail(value)
+
+    # -- called from driver threads -------------------------------------------
     def block_on(self, event: Event) -> Any:
-        """Park the driver until ``event`` is processed; return its value.
+        """Park the calling driver until ``event`` is processed; return its
+        value.
 
         Raises the event's exception (in the driver) if it failed.
         """
-        if not self.in_driver:
+        channel = self._channels.get(threading.current_thread())
+        if channel is None or not self._active:
             raise DriverError(
                 "blocking driver APIs (get/wait/sleep) may only be called "
                 "from inside a Runtime.run() driver function"
             )
-        self._wake = event
+        channel.wake = event
         self._sim_sem.release()
-        self._driver_sem.acquire()
+        channel.sem.acquire()
         return event.value
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+        label: Optional[str] = None,
+        **kwargs: Any,
+    ) -> DriverHandle:
+        """Start ``fn`` as a concurrent subdriver; returns a handle.
+
+        May only be called from a running driver thread (the simulation is
+        parked then, so registration is race-free).  The subdriver starts
+        parked and first runs when the spawning driver next blocks; it may
+        use every blocking driver API and spawn further subdrivers.
+        ``label`` tags tasks submitted while the subdriver runs (the jobs
+        layer passes the job id).
+        """
+        if not self.in_driver:
+            raise DriverError("spawn() must be called from a running driver")
+        seq = next(self._seq)
+        channel = self._make_channel(
+            fn, args, kwargs, name=name or f"subdriver-{seq}", label=label
+        )
+        return DriverHandle(channel)
+
+    def join(self, handle: DriverHandle) -> Any:
+        """Block the calling driver until ``handle``'s subdriver finishes;
+        return its result or re-raise its error."""
+        return self.block_on(handle.done)

@@ -63,7 +63,12 @@ class NodeManager:
             on_evict_cached=self._on_evict_cached,
         )
         self.spill = SpillManager(
-            node, self.store, runtime.directory, runtime.config, runtime.counters
+            node,
+            self.store,
+            runtime.directory,
+            runtime.config,
+            runtime.counters,
+            charge=runtime.charge_object,
         )
         self.pending_tasks = 0
         self._fetch_sem = Resource(
@@ -203,7 +208,7 @@ class NodeManager:
 
             record.phase = TaskPhase.FINISHED
             record.finished_at = self.env.now
-            self.runtime.counters.add("tasks_finished", 1)
+            self.runtime.charge_task(spec.options, "tasks_finished", 1)
             self._active_records.pop(record, None)
             self.pending_tasks -= 1
             self.runtime.task_finished(record)
@@ -418,7 +423,7 @@ class NodeManager:
             )
             if duration > 0:
                 yield self.env.timeout(duration)
-            self.runtime.counters.add("compute_seconds", duration)
+            self.runtime.charge_task(options, "compute_seconds", duration)
             for object_id, value in zip(spec.return_ids, outputs):
                 yield from self._store_output(object_id, value, options)
 
@@ -447,7 +452,7 @@ class NodeManager:
             )
             if duration > 0:
                 yield self.env.timeout(duration)
-            self.runtime.counters.add("compute_seconds", duration)
+            self.runtime.charge_task(spec.options, "compute_seconds", duration)
             yield from self._store_output(object_id, value, spec.options)
         # A well-formed generator is now exhausted.
         try:
@@ -483,6 +488,7 @@ class NodeManager:
         if object_id not in directory:
             return  # all refs dropped before the task finished; discard
         self.runtime.payloads[object_id] = value
+        self.runtime.charge_task(options, "task_output_bytes", size)
         if options.output_to_disk:
             self.runtime.counters.add("disk_bytes_written", size)
             self.runtime.counters.add("output_bytes_written", size)

@@ -19,6 +19,7 @@ re-execution after a detection delay.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import (
     Any,
     Callable,
@@ -42,7 +43,7 @@ from repro.common.errors import (
 from repro.common.ids import IdGenerator, NodeId, ObjectId, TaskId
 from repro.futures.config import RuntimeConfig
 from repro.futures.directory import ObjectDirectory
-from repro.futures.driver import DriverHost
+from repro.futures.driver import DriverHandle, DriverHost
 from repro.futures.node_manager import NodeManager
 from repro.futures.refs import ObjectRef, make_ref
 from repro.futures.remote import RemoteFunction
@@ -59,6 +60,10 @@ from repro.futures.task import (
 )
 from repro.metrics.core import Counters
 from repro.simcore import Environment, Event
+
+#: Per-job accounting bucket for work carrying no job id (plain
+#: single-driver runs, or background restores not tied to any task).
+UNATTRIBUTED_JOB = "<unattributed>"
 
 
 class Runtime:
@@ -79,6 +84,11 @@ class Runtime:
         self.config = config or RuntimeConfig()
         self.ids: IdGenerator = cluster.ids
         self.counters = Counters()
+        #: Per-job counter buckets keyed by job id (multi-tenant control
+        #: plane); every charge path adds to both the global counters and
+        #: the owning job's bucket, so bucket sums equal the global value
+        #: exactly (checked by the chaos invariant checker).
+        self.job_counters: Dict[str, Counters] = {}
         self.payloads: Dict[ObjectId, Any] = {}
         self.directory = ObjectDirectory(on_refcount_zero=self._evict_object)
         self.tasks: Dict[TaskId, TaskRecord] = {}
@@ -147,6 +157,46 @@ class Runtime:
 
         return ActorClass(self, cls, TaskOptions(**options))
 
+    # -- per-job accounting ---------------------------------------------------
+    def job_bucket(self, job_id: Optional[str]) -> Counters:
+        """The per-job counter bucket for ``job_id`` (created on demand);
+        unattributed work lands in the :data:`UNATTRIBUTED_JOB` bucket."""
+        key = job_id if job_id is not None else UNATTRIBUTED_JOB
+        bucket = self.job_counters.get(key)
+        if bucket is None:
+            bucket = self.job_counters[key] = Counters()
+        return bucket
+
+    def charge_task(
+        self, options: TaskOptions, name: str, amount: float = 1.0
+    ) -> None:
+        """Increment a counter globally *and* in the owning job's bucket.
+
+        Every task-attributable counter must go through here (not
+        ``self.counters.add``) so per-job buckets sum exactly to the
+        global totals -- the accounting invariant the chaos checker
+        asserts when the jobs layer is active.
+        """
+        self.counters.add(name, amount)
+        self.job_bucket(options.job_id).add(name, amount)
+
+    def charge_object(
+        self, object_id: ObjectId, name: str, amount: float = 1.0
+    ) -> None:
+        """Per-job side of an object-attributed charge (spill bytes).
+
+        The spill manager already adds the global total itself; this maps
+        the object back to its creating task's job and mirrors the amount
+        into that bucket only.
+        """
+        job_id: Optional[str] = None
+        creator = self._object_creator.get(object_id)
+        if creator is not None:
+            record = self.tasks.get(creator)
+            if record is not None:
+                job_id = record.spec.options.job_id
+        self.job_bucket(job_id).add(name, amount)
+
     # -- submission (driver-side, non-blocking) -----------------------------
     def submit_task(
         self,
@@ -158,6 +208,13 @@ class Runtime:
     ) -> List[ObjectRef]:
         """Create and schedule one task (the ``.remote()`` entry point);
         returns one ref per declared return."""
+        if options.job_id is None:
+            # Attribute work to the submitting driver: the jobs layer runs
+            # each job as a labeled subdriver, so its task graph is tagged
+            # without libraries knowing about jobs at all.
+            label = self._driver.current_label()
+            if label is not None:
+                options = dataclasses.replace(options, job_id=label)
         task_id = self.ids.next_task_id()
         return_ids = tuple(
             self.ids.next_object_id() for _ in range(options.num_returns)
@@ -187,7 +244,7 @@ class Runtime:
             self.directory.register(oid, creator=task_id)
             self._object_creator[oid] = task_id
         refs = [make_ref(self, oid) for oid in return_ids]
-        self.counters.add("tasks_submitted", 1)
+        self.charge_task(options, "tasks_submitted", 1)
         self._schedule_when_ready(record)
         return refs
 
@@ -231,8 +288,7 @@ class Runtime:
             self.directory.on_ready(oid, on_dep_ready)
 
     def _dispatch(self, record: TaskRecord) -> None:
-        node_id = self.scheduler.place(record)
-        self.node_managers[node_id].submit(record)
+        self.scheduler.dispatch(record)
 
     # -- task completion callbacks (from NodeManager) -------------------------
     def task_finished(self, record: TaskRecord) -> None:
@@ -243,6 +299,7 @@ class Runtime:
         for ref in record.held_refs:
             ref.release()
         record.held_refs = []
+        self.scheduler.task_done(record)
 
     def task_failed(self, record: TaskRecord, error: BaseException) -> None:
         """NodeManager callback: mark returns failed, release arguments."""
@@ -251,12 +308,13 @@ class Runtime:
         if record.counted:
             record.counted = False
             self._count_consumers(record, -1)
-        self.counters.add("tasks_failed", 1)
+        self.charge_task(record.spec.options, "tasks_failed", 1)
         for oid in record.spec.return_ids:
             self.directory.mark_failed(oid, error)
         for ref in record.held_refs:
             ref.release()
         record.held_refs = []
+        self.scheduler.task_done(record)
 
     # -- reference counting & eviction -----------------------------------------
     def incref(self, object_id: ObjectId) -> None:
@@ -384,7 +442,7 @@ class Runtime:
                 record, TaskDeadlineError(spec.task_id, policy.task_deadline_s)
             )
             return
-        self.counters.add("tasks_resubmitted", 1)
+        self.charge_task(spec.options, "tasks_resubmitted", 1)
         for oid in spec.return_ids:
             dep_record = self.directory.maybe_get(oid)
             if dep_record is not None and not dep_record.available:
@@ -620,6 +678,35 @@ class Runtime:
             raise ValueError("cannot sleep a negative duration")
         self._driver.block_on(self.env.timeout(seconds))
 
+    # -- concurrent drivers (multi-tenant job control plane) -------------------
+    def spawn_driver(
+        self,
+        fn: Any,
+        *args: Any,
+        name: str = "",
+        label: Optional[str] = None,
+        **kwargs: Any,
+    ) -> DriverHandle:
+        """Start ``fn`` as a concurrent subdriver program (from a driver).
+
+        The subdriver may use every blocking API (``get``/``wait``/
+        ``sleep``) and runs cooperatively with its siblings -- this is how
+        the jobs layer (:mod:`repro.jobs`) executes many blocking shuffle
+        jobs against one cluster.  ``label`` becomes the ``job_id``
+        stamped onto every task the subdriver submits.
+        """
+        return self._driver.spawn(fn, *args, name=name, label=label, **kwargs)
+
+    def join_driver(self, handle: DriverHandle) -> Any:
+        """Block until a spawned subdriver finishes; return its result or
+        re-raise its error (driver-side)."""
+        return self._driver.join(handle)
+
+    def wait_event(self, event: Event) -> Any:
+        """Block the calling driver on an arbitrary simulation event
+        (e.g. ``env.any_of`` over subdriver completion events)."""
+        return self._driver.block_on(event)
+
     def timestamp(self) -> float:
         """Current simulated time (driver-side convenience)."""
         return self.env.now
@@ -654,3 +741,11 @@ class Runtime:
             for manager in self.node_managers.values()
         )
         return snapshot
+
+    def job_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-job counter snapshots keyed by job id (buckets filled by
+        :meth:`charge_task` / :meth:`charge_object`)."""
+        return {
+            job_id: bucket.snapshot()
+            for job_id, bucket in self.job_counters.items()
+        }

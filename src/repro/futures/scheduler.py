@@ -1,4 +1,4 @@
-"""Global task placement (§4.3.2).
+"""Global task placement and fair-share dispatch (§4.3.2).
 
 Ray's two-level scheduler balances bin-packing against load-balancing; for
 shuffle what matters is (a) honouring the library's *soft node-affinity*
@@ -16,15 +16,25 @@ window (``RuntimeConfig.blacklist_cooldown_s``): a node that crashed and
 came straight back is avoided until the window elapses, so a flapping
 node cannot keep swallowing retried work.  Blacklisting is best-effort --
 if every alive node is blacklisted, placement proceeds as if none were.
+
+:class:`Scheduler` dispatches dependency-ready tasks immediately (global
+FIFO).  :class:`FairShareScheduler` extends it for the multi-tenant job
+control plane (:mod:`repro.jobs`): tasks tagged with a registered job id
+park in per-job queues and are released into the cluster by weighted
+virtual-time fair queueing, so concurrent jobs share task slots by
+weight instead of by submission burstiness.  Placement itself (affinity,
+locality, blacklist, load) is inherited unchanged -- fairness decides
+*when* a task dispatches, locality still decides *where*.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import TYPE_CHECKING, Dict, Optional
+from collections import defaultdict, deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from repro.common.errors import SchedulingError
 from repro.common.ids import NodeId
+from repro.futures.task import TaskPhase
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.futures.runtime import Runtime
@@ -39,6 +49,16 @@ class Scheduler:
         #: Nodes to avoid until the mapped simulated time (cooldown after
         #: a failure); stale entries are pruned lazily during placement.
         self._blacklist_until: Dict[NodeId, float] = {}
+
+    # -- dispatch -----------------------------------------------------------
+    def dispatch(self, record: "TaskRecord") -> None:
+        """Launch a dependency-ready task immediately (global FIFO)."""
+        node_id = self.place(record)
+        self.runtime.node_managers[node_id].submit(record)
+
+    def task_done(self, record: "TaskRecord") -> None:
+        """Hook: a dispatched task reached a terminal phase.  The base
+        scheduler keeps no dispatch state, so this is a no-op."""
 
     # -- failure feedback ---------------------------------------------------
     def note_failure(self, node_id: NodeId) -> None:
@@ -126,3 +146,161 @@ class Scheduler:
     @staticmethod
     def _load(manager: object) -> float:
         return manager.pending_tasks / manager.node.spec.cores  # type: ignore[attr-defined]
+
+
+class FairShareScheduler(Scheduler):
+    """Weighted fair queueing of tasks across concurrent jobs.
+
+    Tasks from *registered* jobs park in per-job FIFO queues; a fixed
+    budget of cluster task slots (alive cores times ``slots_per_core``)
+    is shared among them by virtual-time weighted fair queueing: each
+    dispatch advances the job's virtual time by ``1 / weight``, and the
+    job with the smallest virtual time dispatches next.  A job with
+    twice the weight therefore launches twice the tasks over any window
+    where both jobs have work -- without starving anyone, since a
+    briefly idle job rejoins at the current virtual clock rather than
+    catching up on "missed" service.
+
+    Tenancy composes on top: jobs registered with a ``tenant`` share
+    that tenant's optional concurrent-task-slot cap, so one tenant's
+    many jobs cannot crowd out another tenant regardless of per-job
+    weights.  Unregistered work (plain single-driver runs, retried
+    in-flight tasks) bypasses fairness entirely and dispatches
+    immediately, keeping the base behaviour for everything that is not
+    a control-plane job.
+    """
+
+    def __init__(self, runtime: "Runtime", slots_per_core: float = 1.0) -> None:
+        super().__init__(runtime)
+        if slots_per_core <= 0:
+            raise ValueError("slots_per_core must be positive")
+        #: Concurrent task slots granted per alive core; >1 oversubscribes
+        #: (useful when tasks are I/O heavy), <1 keeps queues deep.
+        self.slots_per_core = slots_per_core
+        self._queues: Dict[str, Deque["TaskRecord"]] = {}
+        self._weights: Dict[str, float] = {}
+        self._tenant_of: Dict[str, Optional[str]] = {}
+        self._tenant_caps: Dict[str, int] = {}
+        self._vtime: Dict[str, float] = {}
+        self._vclock = 0.0
+        self._inflight: Dict["TaskRecord", str] = {}
+        self._inflight_by_job: Dict[str, int] = defaultdict(int)
+        self._inflight_by_tenant: Dict[str, int] = defaultdict(int)
+
+    # -- job registry -------------------------------------------------------
+    @property
+    def total_slots(self) -> int:
+        """The dispatch budget: alive cores times ``slots_per_core``."""
+        cores = sum(
+            manager.node.spec.cores
+            for manager in self.runtime.node_managers.values()
+            if manager.node.alive
+        )
+        return max(1, int(cores * self.slots_per_core))
+
+    def register_job(
+        self,
+        job_id: str,
+        *,
+        weight: float = 1.0,
+        tenant: Optional[str] = None,
+        tenant_task_slots: Optional[int] = None,
+    ) -> None:
+        """Enrol a job in fair sharing; its tasks queue until dispatched.
+
+        ``weight`` scales the job's share of task slots.  ``tenant``
+        groups jobs under a shared concurrent-slot cap
+        (``tenant_task_slots``; unlimited when ``None``).
+        """
+        if weight <= 0:
+            raise ValueError(f"job weight must be positive, got {weight}")
+        if job_id in self._queues:
+            raise ValueError(f"job {job_id!r} already registered")
+        self._queues[job_id] = deque()
+        self._weights[job_id] = weight
+        self._tenant_of[job_id] = tenant
+        if tenant is not None and tenant_task_slots is not None:
+            self._tenant_caps[tenant] = tenant_task_slots
+        # Join at the current virtual clock: no retroactive catch-up.
+        self._vtime[job_id] = self._vclock
+
+    def unregister_job(self, job_id: str) -> None:
+        """Remove a finished job; any stragglers dispatch immediately."""
+        queue = self._queues.pop(job_id, None)
+        if queue is None:
+            return
+        self._weights.pop(job_id, None)
+        self._tenant_of.pop(job_id, None)
+        self._vtime.pop(job_id, None)
+        for record in queue:
+            if record.phase not in (TaskPhase.FINISHED, TaskPhase.FAILED):
+                super().dispatch(record)
+        self._pump()
+
+    def queued_tasks(self, job_id: str) -> int:
+        """How many of a job's tasks are parked awaiting a slot."""
+        queue = self._queues.get(job_id)
+        return len(queue) if queue is not None else 0
+
+    def inflight_tasks(self, job_id: str) -> int:
+        """How many of a job's tasks currently occupy slots."""
+        return self._inflight_by_job.get(job_id, 0)
+
+    # -- dispatch -----------------------------------------------------------
+    def dispatch(self, record: "TaskRecord") -> None:
+        """Queue a registered job's task for fair dispatch; everything
+        else (unregistered jobs, retries of slot-holding tasks) launches
+        immediately via the base policy."""
+        job_id = record.spec.options.job_id
+        if job_id is None or job_id not in self._queues:
+            super().dispatch(record)
+            return
+        if record in self._inflight:
+            # A retry of a task that still holds its slot (executor or
+            # node failure): re-launch without re-charging.
+            super().dispatch(record)
+            return
+        self._queues[job_id].append(record)
+        self._pump()
+
+    def task_done(self, record: "TaskRecord") -> None:
+        """Free the task's slot (terminal phase) and dispatch more work."""
+        job_id = self._inflight.pop(record, None)
+        if job_id is None:
+            return
+        if self._inflight_by_job.get(job_id, 0) > 0:
+            self._inflight_by_job[job_id] -= 1
+        tenant = self._tenant_of.get(job_id)
+        if tenant is not None and self._inflight_by_tenant.get(tenant, 0) > 0:
+            self._inflight_by_tenant[tenant] -= 1
+        self._pump()
+
+    def _eligible(self, job_id: str) -> bool:
+        if not self._queues[job_id]:
+            return False
+        tenant = self._tenant_of.get(job_id)
+        if tenant is None:
+            return True
+        cap = self._tenant_caps.get(tenant)
+        return cap is None or self._inflight_by_tenant[tenant] < cap
+
+    def _pump(self) -> None:
+        """Dispatch queued tasks while slots remain, smallest virtual
+        time first (ties broken by job id for determinism)."""
+        while len(self._inflight) < self.total_slots:
+            candidates = [job for job in self._queues if self._eligible(job)]
+            if not candidates:
+                return
+            best = min(candidates, key=lambda job: (self._vtime[job], job))
+            record = self._queues[best].popleft()
+            if record.phase in (TaskPhase.FINISHED, TaskPhase.FAILED):
+                # Failed while parked (e.g. a lost dependency); drop it.
+                continue
+            self._vclock = self._vtime[best]
+            self._vtime[best] += 1.0 / self._weights[best]
+            self._inflight[record] = best
+            self._inflight_by_job[best] += 1
+            tenant = self._tenant_of.get(best)
+            if tenant is not None:
+                self._inflight_by_tenant[tenant] += 1
+            super().dispatch(record)

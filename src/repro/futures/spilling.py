@@ -16,7 +16,7 @@ the filesystem", §4.2.2).
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.common.ids import NodeId, ObjectId
 from repro.metrics.core import Counters
@@ -76,6 +76,7 @@ class SpillManager:
         directory: "ObjectDirectory",
         config: "RuntimeConfig",
         counters: Counters,
+        charge: Optional[Callable[[ObjectId, str, float], None]] = None,
     ) -> None:
         self.node = node
         self.env = node.env
@@ -83,6 +84,10 @@ class SpillManager:
         self.directory = directory
         self.config = config
         self.counters = counters
+        #: Optional per-object charge hook ``(object_id, counter, amount)``
+        #: mirroring spill I/O into per-job accounting buckets (the global
+        #: counters above are always charged directly).
+        self.charge = charge
         self._file_ids = itertools.count()
         self._slots: Dict[ObjectId, SpillSlot] = {}
         self._in_flight = 0
@@ -169,6 +174,9 @@ class SpillManager:
         self.counters.add("spill_bytes_written", total)
         self.counters.add("spill_files", 1)
         self.counters.add("disk_bytes_written", total)
+        if self.charge is not None:
+            for oid, size in batch:
+                self.charge(oid, "spill_bytes_written", size)
         # One sequential write per file; an unfused "file" per object means
         # one seek-bearing operation per object.
         write = self.node.disk.transfer(
@@ -259,6 +267,8 @@ class SpillManager:
         latency = 0.0 if sequential else None
         self.counters.add("spill_bytes_read", slot.size)
         self.counters.add("disk_bytes_read", slot.size)
+        if self.charge is not None:
+            self.charge(object_id, "spill_bytes_read", slot.size)
         return self.node.disk.transfer(slot.size, latency=latency)
 
     # -- GC / failure ------------------------------------------------------

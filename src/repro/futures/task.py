@@ -72,6 +72,11 @@ class TaskOptions:
     #: Spark-style materialisation) instead of store memory.
     output_to_disk: bool = False
     name: str = ""
+    #: The job this task belongs to (multi-tenant control plane).  Stamped
+    #: automatically from the submitting driver's label by
+    #: ``Runtime.submit_task``; drives fair-share scheduling and per-job
+    #: accounting.  ``None`` = unattributed (single-job runs).
+    job_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_returns < 1:

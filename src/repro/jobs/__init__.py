@@ -1,0 +1,70 @@
+"""Multi-tenant job control plane over the distributed-futures runtime.
+
+The paper's architecture runs one shuffle job per driver program; real
+clusters run many jobs from many tenants at once.  This package layers a
+control plane on :class:`~repro.futures.Runtime` without touching the
+shuffle libraries themselves:
+
+- :class:`JobSpec` / :class:`Job` -- declarative job descriptions and
+  lifecycle records (queued -> admitted -> running -> done / failed /
+  cancelled / rejected), with typed errors in :mod:`repro.common.errors`;
+- :class:`AdmissionController` -- per-tenant quotas (concurrent jobs,
+  aggregate store bytes, task slots) with bounded queueing and
+  backpressure;
+- :class:`~repro.futures.FairShareScheduler` integration -- admitted
+  jobs' tasks dispatch by weighted virtual-time fair queueing instead of
+  global FIFO, composing with the existing locality/blacklist placement;
+- :class:`ShufflePlanner` -- a cost model ranking every shuffle variant
+  from the cluster profile and job shape (``variant="auto"``);
+- per-job/per-tenant metrics -- every charge lands in the global
+  counters *and* the owning job's bucket, an exact-sum invariant the
+  chaos checker asserts.
+
+``python -m repro.jobs --smoke`` runs a mixed multi-tenant workload
+(including a quota rejection and a chaos plan under concurrent jobs) as
+a CI gate; see ``docs/jobs.md`` for the full tour.
+"""
+
+from repro.jobs.admission import AdmissionController
+from repro.jobs.manager import JobManager
+from repro.jobs.planner import (
+    ClusterProfile,
+    JobShape,
+    PlanEstimate,
+    ShufflePlanner,
+)
+from repro.jobs.spec import (
+    Job,
+    JobSpec,
+    JobState,
+    TERMINAL_STATES,
+    TenantQuota,
+    TenantSpec,
+)
+from repro.jobs.workload import (
+    JobsRunReport,
+    default_tenants,
+    mixed_workload,
+    run_jobs,
+    verify_outputs,
+)
+
+__all__ = [
+    "AdmissionController",
+    "ClusterProfile",
+    "Job",
+    "JobManager",
+    "JobShape",
+    "JobSpec",
+    "JobState",
+    "JobsRunReport",
+    "PlanEstimate",
+    "ShufflePlanner",
+    "TERMINAL_STATES",
+    "TenantQuota",
+    "TenantSpec",
+    "default_tenants",
+    "mixed_workload",
+    "run_jobs",
+    "verify_outputs",
+]

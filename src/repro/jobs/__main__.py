@@ -1,0 +1,146 @@
+"""CLI entry point: ``python -m repro.jobs --smoke``.
+
+The smoke mode exercises the control plane end to end:
+
+1. a 16-job / 4-tenant mixed workload must complete with every job's
+   output matching the pure-function oracle, zero invariant violations
+   (including per-job accounting summing to the global counters), and a
+   max/min completion-time ratio within the fairness bound;
+2. a job whose declared footprint exceeds its tenant quota must be
+   rejected with a typed error;
+3. the same workload at reduced scale must survive a chaos plan (node
+   crash) firing underneath concurrent jobs.
+
+Exit code 0 means all three held; CI runs this as the jobs-layer gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos.spec import FaultKind, matrix_plan
+from repro.common.errors import TenantQuotaExceededError
+from repro.futures import RetryPolicy
+from repro.jobs.manager import JobManager
+from repro.jobs.spec import JobSpec, JobState, TenantQuota, TenantSpec
+from repro.jobs.workload import mixed_workload, run_jobs
+
+#: Equal-weight jobs on an idle cluster should finish within this
+#: max/min completion-time ratio (the acceptance bound).
+FAIRNESS_BOUND = 2.0
+
+
+def _check(ok: bool, message: str) -> int:
+    print(f"{'ok  ' if ok else 'FAIL'} {message}")
+    return 0 if ok else 1
+
+
+def _smoke_fleet(seed: int) -> int:
+    tenants, specs = mixed_workload(seed, num_jobs=16)
+    report = run_jobs(specs, tenants)
+    failures = 0
+    failures += _check(
+        report.all_done, f"16 jobs / 4 tenants all DONE (t={report.duration:.1f}s)"
+    )
+    failures += _check(not report.incorrect, "all outputs oracle-identical")
+    failures += _check(
+        not report.violations,
+        f"zero invariant violations ({len(report.violations)} found)",
+    )
+    for violation in report.violations[:5]:
+        print(f"       ! {violation}")
+    ratio = report.completion_ratio
+    failures += _check(
+        ratio is not None and ratio <= FAIRNESS_BOUND,
+        f"completion-time max/min ratio {ratio:.2f} <= {FAIRNESS_BOUND:g}"
+        if ratio is not None
+        else "completion-time ratio unavailable",
+    )
+    by_tenant: dict = {}
+    for job_id, bucket in report.job_stats.items():
+        job = next((j for j in report.jobs if j.job_id == job_id), None)
+        if job is None:
+            continue
+        agg = by_tenant.setdefault(job.spec.tenant, {"tasks": 0.0, "cpu": 0.0})
+        agg["tasks"] += bucket.get("tasks_finished", 0.0)
+        agg["cpu"] += bucket.get("compute_seconds", 0.0)
+    for tenant in sorted(by_tenant):
+        agg = by_tenant[tenant]
+        print(
+            f"     {tenant}: tasks={agg['tasks']:.0f} "
+            f"task-seconds={agg['cpu']:.1f}"
+        )
+    return failures
+
+
+def _smoke_rejection(seed: int) -> int:
+    from repro.chaos.harness import default_node_spec
+    from repro.futures import Runtime
+
+    rt = Runtime.create(default_node_spec(), 2)
+    manager = JobManager(rt)
+    manager.add_tenant(
+        TenantSpec(
+            name="capped", quota=TenantQuota(max_store_bytes=1024)
+        )
+    )
+    try:
+        manager.submit(
+            JobSpec(name="too-big", tenant="capped", store_bytes_estimate=4096)
+        )
+    except TenantQuotaExceededError as exc:
+        print(f"     typed rejection: {exc}")
+        job = next(iter(manager.jobs.values()))
+        return _check(
+            job.state is JobState.REJECTED, "over-quota job rejected with typed error"
+        )
+    return _check(False, "over-quota job was accepted (expected rejection)")
+
+
+def _smoke_chaos(seed: int) -> int:
+    tenants, specs = mixed_workload(seed, num_jobs=4)
+    report = run_jobs(
+        specs,
+        tenants,
+        plan=matrix_plan(FaultKind.NODE_CRASH, seed=seed),
+        retry_policy=RetryPolicy(max_attempts=8),
+    )
+    ok = report.all_done and not report.incorrect and not report.violations
+    for violation in report.violations[:5]:
+        print(f"       ! {violation}")
+    return _check(
+        ok,
+        f"4 concurrent jobs under node-crash chaos "
+        f"(faults={len(report.injected)}, "
+        f"retries={report.stats.get('tasks_resubmitted', 0):.0f})",
+    )
+
+
+def main(argv=None) -> int:
+    """Parse arguments and run the requested jobs-layer mode."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.jobs",
+        description="Multi-tenant job control plane smoke runner.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the mixed multi-tenant workload, a quota-rejection "
+        "check, and a chaos-under-jobs run; exit nonzero on any failure",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.print_help()
+        return 2
+    failures = _smoke_fleet(args.seed)
+    failures += _smoke_rejection(args.seed)
+    failures += _smoke_chaos(args.seed)
+    print(("jobs smoke passed" if not failures else
+           f"jobs smoke: {failures} check(s) failed"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

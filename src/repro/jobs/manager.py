@@ -1,0 +1,240 @@
+"""The job manager: admission, fair sharing, planning, and execution.
+
+:class:`JobManager` ties the control plane together around one
+:class:`~repro.futures.Runtime`:
+
+- jobs are submitted against registered tenants and pass through the
+  :class:`~repro.jobs.admission.AdmissionController` (typed rejections,
+  bounded queues);
+- admitted jobs register with the runtime's
+  :class:`~repro.futures.FairShareScheduler` (weight = tenant weight x
+  job weight, tenant task-slot caps) and run as labeled cooperative
+  subdrivers, so every task they submit is stamped with their job id and
+  both scheduling and accounting see job boundaries;
+- ``variant="auto"`` jobs are resolved by the
+  :class:`~repro.jobs.planner.ShufflePlanner` cost model before launch;
+- per-job metrics (queue wait, task-seconds, bytes) accumulate in the
+  runtime's per-job counter buckets and a queue-wait
+  :class:`~repro.metrics.Histogram`.
+
+Job bodies never leak exceptions into the simulation: a failing job is
+recorded as ``FAILED`` with its error and its quota is released, while
+sibling jobs keep running.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.harness import make_inputs, submit_variant
+from repro.common.errors import JobControlError
+from repro.futures import DriverHandle, FairShareScheduler, Runtime
+from repro.jobs.admission import AdmissionController
+from repro.jobs.planner import JobShape, ShufflePlanner
+from repro.jobs.spec import Job, JobSpec, JobState, TenantSpec
+from repro.metrics import Histogram
+
+
+class JobManager:
+    """Drives multi-tenant jobs through admission, fair-share execution,
+    and per-job accounting on one runtime."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        *,
+        slots_per_core: float = 1.0,
+        planner: Optional[ShufflePlanner] = None,
+    ) -> None:
+        self.runtime = runtime
+        if isinstance(runtime.scheduler, FairShareScheduler):
+            self.fair: FairShareScheduler = runtime.scheduler
+        else:
+            self.fair = FairShareScheduler(
+                runtime, slots_per_core=slots_per_core
+            )
+            runtime.scheduler = self.fair
+        self.admission = AdmissionController()
+        self.planner = planner or ShufflePlanner.for_runtime(runtime)
+        #: Every job ever submitted, keyed by job id, in submission order.
+        self.jobs: Dict[str, Job] = {}
+        #: Queue-wait distribution (seconds from submission to admission).
+        self.queue_wait = Histogram("job_queue_wait_s")
+        self._ids = itertools.count()
+
+    # -- registration ---------------------------------------------------------
+    def add_tenant(self, tenant: TenantSpec) -> None:
+        """Register a tenant before submitting its jobs."""
+        self.admission.register_tenant(tenant)
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Submit a job; returns its lifecycle record.
+
+        Typed control-plane rejections
+        (:class:`~repro.common.errors.JobControlError` subclasses) are
+        recorded on the job as ``REJECTED`` and re-raised, so the caller
+        both observes the typed error and can inspect the record later.
+        """
+        job_id = f"job-{next(self._ids)}"
+        job = Job(spec=spec, job_id=job_id, submitted_at=self.runtime.now)
+        self.jobs[job_id] = job
+        try:
+            self.admission.submit(job)
+        except JobControlError as exc:
+            job.state = JobState.REJECTED
+            job.error = exc
+            job.finished_at = self.runtime.now
+            raise
+        return job
+
+    def cancel(self, job: Job) -> None:
+        """Cancel a still-queued job (typed error recorded on the job)."""
+        self.admission.cancel(job)
+        job.finished_at = self.runtime.now
+
+    # -- execution ------------------------------------------------------------
+    def run(self) -> List[Job]:
+        """Run every submitted job to a terminal state; returns them all.
+
+        This is the blocking entry point: it drives the runtime's
+        simulation until each queued job has been admitted, executed as a
+        fair-share subdriver, and reaped.
+        """
+        self.runtime.run(self.drive)
+        return list(self.jobs.values())
+
+    def drive(self) -> None:
+        """The control-plane driver loop (already inside ``runtime.run``).
+
+        Use this instead of :meth:`run` to compose the manager with other
+        driver-side work (e.g. arming a chaos plan first).
+        """
+        rt = self.runtime
+        live: Dict[str, DriverHandle] = {}
+        while True:
+            for job in self.admission.admit_ready():
+                self._admit(job)
+                live[job.job_id] = rt.spawn_driver(
+                    self._run_job,
+                    job,
+                    name=f"job:{job.job_id}",
+                    label=job.job_id,
+                )
+            if not live:
+                if self.admission.queued_jobs():
+                    raise RuntimeError(
+                        "admission stalled with no running jobs"
+                    )  # pragma: no cover - admission always releases idle tenants
+                break
+            # Sleep until at least one job finishes; _run_job never leaks
+            # exceptions, so the completion events always succeed.
+            rt.wait_event(rt.env.any_of([h.done for h in live.values()]))
+            for job_id in [jid for jid, h in live.items() if h.finished]:
+                handle = live.pop(job_id)
+                job = self.jobs[job_id]
+                rt.join_driver(handle)
+                self.fair.unregister_job(job_id)
+                self.admission.release(job)
+
+    def _admit(self, job: Job) -> None:
+        job.state = JobState.ADMITTED
+        job.admitted_at = self.runtime.now
+        self.queue_wait.record(job.queue_wait or 0.0)
+        tenant = self.admission.tenant(job.spec.tenant)
+        self.fair.register_job(
+            job.job_id,
+            weight=tenant.weight * job.spec.weight,
+            tenant=tenant.name,
+            tenant_task_slots=tenant.quota.max_task_slots,
+        )
+
+    def _resolve_variant(self, job: Job) -> str:
+        spec = job.spec
+        if spec.variant != "auto":
+            return spec.variant
+        shape = JobShape(
+            total_bytes=spec.estimated_store_bytes,
+            num_maps=spec.num_maps,
+            num_reduces=spec.num_reduces,
+            streaming=False,
+        )
+        return self.planner.choose(shape)
+
+    def _run_job(self, job: Job) -> Job:
+        """The per-job subdriver body: plan, submit, block, record.
+
+        Runs labeled with the job id, so every task it submits is
+        stamped for fair sharing and accounting.  All errors -- including
+        exhausted retries under chaos -- are captured on the job record;
+        the body itself never raises, keeping sibling jobs unaffected.
+        """
+        rt = self.runtime
+        job.state = JobState.RUNNING
+        job.started_at = rt.now
+        try:
+            variant = self._resolve_variant(job)
+            job.planned_variant = variant
+            spec = job.spec
+            inputs = make_inputs(spec.seed, spec.num_maps, spec.values_per_part)
+            refs = submit_variant(variant, rt, inputs, spec.num_reduces)
+            values = rt.get(refs)
+            job.output = tuple(tuple(v) for v in values)
+            job.state = JobState.DONE
+        except Exception as exc:  # noqa: BLE001 - captured on the record
+            job.state = JobState.FAILED
+            job.error = exc
+        job.finished_at = rt.now
+        return job
+
+    # -- metrics --------------------------------------------------------------
+    def job_metrics(self, job_id: str) -> Dict[str, float]:
+        """One job's counter bucket (task-seconds, bytes, retries, ...)."""
+        bucket = self.runtime.job_counters.get(job_id)
+        return bucket.snapshot() if bucket is not None else {}
+
+    def tenant_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Counter buckets aggregated per tenant."""
+        out: Dict[str, Dict[str, float]] = {}
+        for job_id, job in self.jobs.items():
+            bucket = self.runtime.job_counters.get(job_id)
+            if bucket is None:
+                continue
+            agg = out.setdefault(job.spec.tenant, {})
+            for key, value in bucket.snapshot().items():
+                agg[key] = agg.get(key, 0.0) + value
+        return out
+
+    def completion_ratio(self) -> Optional[float]:
+        """Max/min completion-time ratio across DONE jobs (the fairness
+        figure of merit; ``None`` with fewer than two finished jobs)."""
+        durations = [
+            job.duration
+            for job in self.jobs.values()
+            if job.state is JobState.DONE and job.duration
+        ]
+        if len(durations) < 2:
+            return None
+        return max(durations) / min(durations)
+
+    def report(self) -> List[Dict[str, Any]]:
+        """One summary row per job (state, variant, timings, key counters)."""
+        rows = []
+        for job in self.jobs.values():
+            metrics = self.job_metrics(job.job_id)
+            rows.append(
+                {
+                    "job_id": job.job_id,
+                    "name": job.spec.name,
+                    "tenant": job.spec.tenant,
+                    "state": job.state.value,
+                    "variant": job.planned_variant or job.spec.variant,
+                    "queue_wait_s": job.queue_wait,
+                    "duration_s": job.duration,
+                    "tasks_finished": metrics.get("tasks_finished", 0.0),
+                    "compute_seconds": metrics.get("compute_seconds", 0.0),
+                    "task_output_bytes": metrics.get("task_output_bytes", 0.0),
+                    "error": repr(job.error) if job.error else None,
+                }
+            )
+        return rows

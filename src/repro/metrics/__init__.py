@@ -1,6 +1,6 @@
-"""Measurement: counters, time series, and experiment result tables."""
+"""Measurement: counters, histograms, time series, and result tables."""
 
-from repro.metrics.core import Counters, TimeSeries
+from repro.metrics.core import Counters, Histogram, TimeSeries
 from repro.metrics.tables import ResultTable
 from repro.metrics.timeline import (
     chrome_trace_events,
@@ -11,6 +11,7 @@ from repro.metrics.timeline import (
 
 __all__ = [
     "Counters",
+    "Histogram",
     "TimeSeries",
     "ResultTable",
     "task_spans",

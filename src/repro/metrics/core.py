@@ -1,14 +1,17 @@
-"""Counters and time series collected during simulated runs.
+"""Counters, distributions, and time series collected during simulated runs.
 
 Every figure in the paper is either a bar of job-completion times, a line
-over simulated time, or a byte count; these two small classes cover all of
-them.
+over simulated time, or a byte count; :class:`Counters` and
+:class:`TimeSeries` cover those.  :class:`Histogram` adds exact
+percentiles (p50/p95/p99) for per-job latency distributions -- queue
+waits and task durations in the multi-tenant control plane
+(:mod:`repro.jobs`) -- and is equally useful standalone in benchmarks.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class Counters:
@@ -28,6 +31,18 @@ class Counters:
     def as_dict(self) -> Dict[str, float]:
         """A snapshot copy of all counters."""
         return dict(self._values)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A point-in-time copy of all counters (alias of :meth:`as_dict`,
+        named for the snapshot/reset idiom of interval measurement)."""
+        return dict(self._values)
+
+    def reset(self) -> Dict[str, float]:
+        """Zero every counter; returns the values held just before the
+        reset so ``delta = c.reset()`` closes a measurement interval."""
+        values = dict(self._values)
+        self._values.clear()
+        return values
 
     def __getitem__(self, name: str) -> float:
         return self.get(name)
@@ -85,3 +100,106 @@ class TimeSeries:
 
     def __len__(self) -> int:
         return len(self._samples)
+
+
+class Histogram:
+    """An exact value distribution with percentile queries.
+
+    Simulated runs record at most tens of thousands of samples, so the
+    histogram keeps them all and computes percentiles exactly (linear
+    interpolation between order statistics, the numpy default) instead of
+    approximating with buckets.  The sorted view is cached between
+    records, so repeated percentile reads are cheap.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._values: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self._values.append(float(value))
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self.total / len(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``0 <= q <= 100``), interpolating
+        linearly between adjacent order statistics; 0.0 when empty."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._values:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        ordered = self._sorted
+        rank = (len(ordered) - 1) * q / 100.0
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = rank - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+    @property
+    def p50(self) -> float:
+        """Median."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile."""
+        return self.percentile(99)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict (count/mean/min/max/p50/p95/p99) for tables."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one."""
+        self._values.extend(other._values)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, n={self.count}, p50={self.p50:g}, "
+            f"p95={self.p95:g}, p99={self.p99:g})"
+        )

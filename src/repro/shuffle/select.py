@@ -8,6 +8,10 @@ evaluation's empirical rule:
 - data fits comfortably in aggregate object-store memory and partitions
   are few  -> simple shuffle (merging would only add overhead, Fig 4c);
 - otherwise -> push-based shuffle (I/O efficiency and pipelining win).
+
+This two-way rule is intentionally minimal; the multi-tenant control
+plane's :class:`repro.jobs.ShufflePlanner` generalises it to rank all
+shuffle variants from an explicit cost model.
 """
 
 from __future__ import annotations
@@ -27,29 +31,44 @@ PARTITION_CROSSOVER = 150
 MEMORY_HEADROOM = 0.4
 
 
-def choose_shuffle(
-    rt: Runtime,
-    total_data_bytes: int,
-    num_partitions: int,
+def aggregate_store_bytes(rt: Runtime) -> int:
+    """Total object-store capacity across *alive* nodes.
+
+    The single source of the capacity figure used by the selection rule:
+    :func:`choose_shuffle` decides against it and :func:`describe_choice`
+    reports it, so the logged number is always the one that drove the
+    decision (previously each recomputed it independently, and the report
+    could disagree with the choice if a node died in between).
+    """
+    return sum(node.spec.object_store_bytes for node in rt.cluster.alive_nodes())
+
+
+def _decide(
+    total_data_bytes: int, num_partitions: int, store_bytes: int
 ) -> Callable[..., Any]:
-    """Pick ``simple_shuffle`` or ``push_based_shuffle`` for this job."""
-    store_bytes = sum(
-        node.spec.object_store_bytes for node in rt.cluster.alive_nodes()
-    )
+    """The crossover rule against an already-sampled capacity figure."""
     in_memory = total_data_bytes <= MEMORY_HEADROOM * store_bytes
     if in_memory and num_partitions < PARTITION_CROSSOVER:
         return simple_shuffle
     return push_based_shuffle
 
 
+def choose_shuffle(
+    rt: Runtime,
+    total_data_bytes: int,
+    num_partitions: int,
+) -> Callable[..., Any]:
+    """Pick ``simple_shuffle`` or ``push_based_shuffle`` for this job."""
+    return _decide(total_data_bytes, num_partitions, aggregate_store_bytes(rt))
+
+
 def describe_choice(rt: Runtime, total_data_bytes: int, num_partitions: int) -> Dict[str, Any]:
     """The decision plus the inputs that drove it (for logging/tests)."""
-    chosen = choose_shuffle(rt, total_data_bytes, num_partitions)
+    store_bytes = aggregate_store_bytes(rt)
+    chosen = _decide(total_data_bytes, num_partitions, store_bytes)
     return {
         "algorithm": chosen.__name__,
         "total_data_bytes": total_data_bytes,
         "num_partitions": num_partitions,
-        "aggregate_store_bytes": sum(
-            node.spec.object_store_bytes for node in rt.cluster.alive_nodes()
-        ),
+        "aggregate_store_bytes": store_bytes,
     }

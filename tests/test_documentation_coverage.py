@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.futures",
     "repro.chaos",
+    "repro.jobs",
     "repro.blocks",
     "repro.shuffle",
     "repro.sort",

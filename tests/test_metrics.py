@@ -1,8 +1,8 @@
-"""Unit tests for counters, time series, and result tables."""
+"""Unit tests for counters, histograms, time series, and result tables."""
 
 import pytest
 
-from repro.metrics import Counters, ResultTable, TimeSeries
+from repro.metrics import Counters, Histogram, ResultTable, TimeSeries
 
 
 class TestCounters:
@@ -34,6 +34,99 @@ class TestCounters:
         c.add("a")
         c.add("b")
         assert sorted(c) == ["a", "b"]
+
+    def test_snapshot_is_a_copy(self):
+        c = Counters()
+        c.add("x", 2)
+        snap = c.snapshot()
+        c.add("x", 3)
+        assert snap == {"x": 2}
+        assert c.get("x") == 5
+
+    def test_reset_returns_and_zeroes(self):
+        c = Counters()
+        c.add("x", 7)
+        c.add("y", 1)
+        before = c.reset()
+        assert before == {"x": 7, "y": 1}
+        assert c.get("x") == 0.0
+        assert c.snapshot() == {}
+
+    def test_snapshot_reset_interval_pattern(self):
+        c = Counters()
+        c.add("ops", 3)
+        c.reset()
+        c.add("ops", 4)
+        assert c.reset() == {"ops": 4}
+
+
+class TestHistogram:
+    def test_empty_histogram_is_zeroed(self):
+        h = Histogram("empty")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.p50 == 0.0
+        assert h.min == 0.0 and h.max == 0.0
+        assert len(h) == 0
+
+    def test_single_value(self):
+        h = Histogram()
+        h.record(42.0)
+        for q in (0, 50, 95, 99, 100):
+            assert h.percentile(q) == 42.0
+        assert h.mean == 42.0
+
+    def test_exact_percentiles_interpolate(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.record(v)
+        assert h.p50 == pytest.approx(50.5)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.p95 == pytest.approx(95.05)
+        assert h.p99 == pytest.approx(99.01)
+
+    def test_record_order_irrelevant(self):
+        a, b = Histogram(), Histogram()
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for v in values:
+            a.record(v)
+        for v in sorted(values):
+            b.record(v)
+        assert a.snapshot() == b.snapshot()
+
+    def test_percentile_out_of_range_rejected(self):
+        h = Histogram()
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_snapshot_keys(self):
+        h = Histogram()
+        h.record(1.0)
+        h.record(3.0)
+        snap = h.snapshot()
+        assert snap["count"] == 2.0
+        assert snap["mean"] == 2.0
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+        assert set(snap) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+
+    def test_merge_folds_samples(self):
+        a, b = Histogram(), Histogram()
+        a.record(1.0)
+        b.record(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == 2.0
+
+    def test_records_after_percentile_read(self):
+        h = Histogram()
+        h.record(10.0)
+        assert h.p50 == 10.0  # caches the sorted view
+        h.record(20.0)
+        assert h.p50 == 15.0  # cache invalidated by the new sample
 
 
 class TestTimeSeries:

@@ -1,0 +1,96 @@
+"""Direct unit tests for runtime shuffle selection crossover boundaries.
+
+The rule: simple shuffle iff the working set fits in ``MEMORY_HEADROOM``
+of aggregate store memory AND partitions are below
+``PARTITION_CROSSOVER``; push otherwise.  These tests pin the exact
+boundary behaviour and that ``describe_choice`` reports the same
+capacity figure the decision used.
+"""
+
+from conftest import make_runtime
+
+from repro.shuffle.push import push_based_shuffle
+from repro.shuffle.select import (
+    MEMORY_HEADROOM,
+    PARTITION_CROSSOVER,
+    aggregate_store_bytes,
+    choose_shuffle,
+    describe_choice,
+)
+from repro.shuffle.simple import simple_shuffle
+
+
+def small_bytes(rt):
+    """A working set comfortably inside the in-memory threshold."""
+    return int(MEMORY_HEADROOM * aggregate_store_bytes(rt)) // 2
+
+
+class TestPartitionCrossover:
+    def test_below_crossover_in_memory_is_simple(self):
+        rt = make_runtime()
+        chosen = choose_shuffle(rt, small_bytes(rt), PARTITION_CROSSOVER - 1)
+        assert chosen is simple_shuffle
+
+    def test_at_crossover_is_push(self):
+        rt = make_runtime()
+        chosen = choose_shuffle(rt, small_bytes(rt), PARTITION_CROSSOVER)
+        assert chosen is push_based_shuffle
+
+    def test_far_below_crossover_is_simple(self):
+        rt = make_runtime()
+        assert choose_shuffle(rt, small_bytes(rt), 1) is simple_shuffle
+
+
+class TestMemoryCrossover:
+    def test_exactly_at_headroom_counts_as_in_memory(self):
+        rt = make_runtime()
+        boundary = int(MEMORY_HEADROOM * aggregate_store_bytes(rt))
+        assert choose_shuffle(rt, boundary, 10) is simple_shuffle
+
+    def test_one_byte_over_headroom_is_push(self):
+        rt = make_runtime()
+        boundary = int(MEMORY_HEADROOM * aggregate_store_bytes(rt))
+        assert choose_shuffle(rt, boundary + 1, 10) is push_based_shuffle
+
+    def test_big_data_and_many_partitions_is_push(self):
+        rt = make_runtime()
+        total = 10 * aggregate_store_bytes(rt)
+        assert choose_shuffle(rt, total, 1000) is push_based_shuffle
+
+
+class TestAggregateStoreBytes:
+    def test_counts_only_alive_nodes(self):
+        rt = make_runtime(num_nodes=2)
+        full = aggregate_store_bytes(rt)
+        nodes = list(rt.cluster)
+        nodes[0].fail()
+        assert aggregate_store_bytes(rt) == full // 2
+
+    def test_node_death_flips_the_choice(self):
+        rt = make_runtime(num_nodes=2)
+        # Sized to fit with both stores but not with one.
+        total = int(MEMORY_HEADROOM * aggregate_store_bytes(rt)) * 3 // 4
+        assert choose_shuffle(rt, total, 10) is simple_shuffle
+        list(rt.cluster)[0].fail()
+        assert choose_shuffle(rt, total, 10) is push_based_shuffle
+
+
+class TestDescribeChoice:
+    def test_reports_the_figure_that_drove_the_decision(self):
+        rt = make_runtime()
+        info = describe_choice(rt, small_bytes(rt), 10)
+        assert info["algorithm"] == "simple_shuffle"
+        assert info["aggregate_store_bytes"] == aggregate_store_bytes(rt)
+        assert info["num_partitions"] == 10
+
+    def test_description_consistent_after_node_death(self):
+        rt = make_runtime(num_nodes=2)
+        list(rt.cluster)[0].fail()
+        total = int(MEMORY_HEADROOM * aggregate_store_bytes(rt)) // 2
+        info = describe_choice(rt, total, 10)
+        # The reported capacity is the alive-node figure the rule used,
+        # and re-deciding from that figure gives the same algorithm.
+        assert info["aggregate_store_bytes"] == aggregate_store_bytes(rt)
+        assert (
+            choose_shuffle(rt, total, 10).__name__ == info["algorithm"]
+        )
