@@ -12,7 +12,10 @@ numbers, per the reproduction brief.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.baselines.spark import SparkConfig, SparkSortJob
 from repro.cluster import (
@@ -52,10 +55,34 @@ def ssd_node() -> NodeSpec:
     return scaled_node(I3_2XLARGE)
 
 
+#: Where ``finish_bench`` writes BENCH_<name>.json and (when a runtime
+#: is available) observability traces; set from the ``--trace`` pytest
+#: option by :mod:`benchmarks.conftest`.  ``None`` disables trace export
+#: but JSON results still land in the working directory.
+_TRACE_DIR: Optional[Path] = None
+
+#: The most recently created benchmark runtime (set by
+#: :func:`make_runtime`); ``finish_bench`` falls back to it so figure
+#: functions that return only a table still get their trace exported.
+LAST_RUNTIME: Optional[Runtime] = None
+
+
+def set_trace_dir(path: Optional[str]) -> None:
+    """Point trace/JSON export at ``path`` (created if missing)."""
+    global _TRACE_DIR
+    if path is None:
+        _TRACE_DIR = None
+        return
+    _TRACE_DIR = Path(path)
+    _TRACE_DIR.mkdir(parents=True, exist_ok=True)
+
+
 def make_runtime(
     node: NodeSpec, num_nodes: int, config: Optional[RuntimeConfig] = None
 ) -> Runtime:
-    return Runtime.create(node, num_nodes, config=config)
+    global LAST_RUNTIME
+    LAST_RUNTIME = Runtime.create(node, num_nodes, config=config)
+    return LAST_RUNTIME
 
 
 def run_es_sort(
@@ -166,6 +193,65 @@ def print_table(table: ResultTable, extra_lines: List[str] = ()) -> None:
     print(table.render())
     for line in extra_lines:
         print(line)
+
+
+def _wall_time_seconds(benchmark: Any) -> Optional[float]:
+    """Total measured wall time from a pytest-benchmark fixture, or
+    ``None`` when stats are unavailable (defensive across versions)."""
+    try:
+        return float(benchmark.stats.stats.total)
+    except AttributeError:
+        try:
+            return float(benchmark.stats["total"])
+        except Exception:
+            return None
+
+
+def finish_bench(
+    name: str,
+    table: ResultTable,
+    benchmark: Any = None,
+    extra_lines: Sequence[str] = (),
+    runtime: Optional[Runtime] = None,
+) -> Path:
+    """Print a figure table and persist a machine-readable result file.
+
+    Writes ``BENCH_<name>.json`` (table rows, extra lines, measured wall
+    time, simulated time, and key runtime counters) into the ``--trace``
+    directory when set, else the working directory.  When a runtime is
+    available (passed explicitly or remembered from the last
+    :func:`make_runtime` call) and ``--trace`` is set, also exports the
+    run's observability record -- a ``record_run`` JSONL and a Chrome
+    trace -- and records their paths in the JSON.  Returns the JSON path.
+    """
+    print_table(table, list(extra_lines))
+    rt = runtime if runtime is not None else LAST_RUNTIME
+    out_dir = _TRACE_DIR if _TRACE_DIR is not None else Path.cwd()
+    payload: Dict[str, Any] = {
+        "name": name,
+        "title": table.title,
+        "rows": table.rows,
+        "extra": list(extra_lines),
+        "wall_time_s": _wall_time_seconds(benchmark) if benchmark else None,
+        "sim_time_s": rt.env.now if rt is not None else None,
+        "counters": rt.counters.as_dict() if rt is not None else {},
+        "events_jsonl": None,
+        "chrome_trace": None,
+    }
+    if rt is not None and _TRACE_DIR is not None:
+        from repro.obs.report import record_run
+        from repro.obs.trace import write_chrome_trace
+
+        events_path = _TRACE_DIR / f"{name}.events.jsonl"
+        chrome_path = _TRACE_DIR / f"{name}.trace.json"
+        record_run(rt, str(events_path))
+        write_chrome_trace(rt.bus.events, str(chrome_path))
+        payload["events_jsonl"] = str(events_path)
+        payload["chrome_trace"] = str(chrome_path)
+    payload["written_at"] = time.time()
+    json_path = out_dir / f"BENCH_{name}.json"
+    json_path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return json_path
 
 
 def print_sort_figure_chart(table: ResultTable, title: str) -> None:

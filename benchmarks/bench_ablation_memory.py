@@ -12,7 +12,7 @@ import pytest
 
 from repro.metrics import ResultTable
 
-from benchmarks._harness import SCALED_TB, hdd_node, run_es_sort, print_table
+from benchmarks._harness import SCALED_TB, hdd_node, run_es_sort, finish_bench
 from repro.futures import Runtime
 from repro.cluster import ClusterSpec
 from repro.sort import SortJobConfig, run_sort
@@ -56,7 +56,7 @@ def _run_figure():
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_memory_management(benchmark):
     table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
-    print_table(table)
+    finish_bench("ablation_memory", table, benchmark=benchmark)
     star = table.find(config="push* (free bundles, depth 3)")
     keep = table.find(config="push (keep bundles, depth 3)")
     unbounded = table.find(config="push* (no backpressure)")

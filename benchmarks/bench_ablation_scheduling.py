@@ -11,7 +11,7 @@ import pytest
 from repro.futures import RuntimeConfig
 from repro.metrics import ResultTable
 
-from benchmarks._harness import SCALED_TB, hdd_node, print_table, run_es_sort
+from benchmarks._harness import SCALED_TB, hdd_node, finish_bench, run_es_sort
 
 NUM_NODES = 10
 PARTITIONS = 200
@@ -46,7 +46,7 @@ def _run_figure():
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_locality_scheduling(benchmark):
     table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
-    print_table(table)
+    finish_bench("ablation_scheduling", table, benchmark=benchmark)
     with_locality = table.find(scheduling="locality+affinity")
     without = table.find(scheduling="load-only")
     # Locality keeps bytes off the network and the job faster.

@@ -13,7 +13,7 @@ import pytest
 from repro.chaos import FaultKind, matrix_plan, run_chaos_shuffle
 from repro.metrics import ResultTable
 
-from benchmarks._harness import print_table
+from benchmarks._harness import finish_bench
 
 SEED = 2
 
@@ -45,7 +45,7 @@ def _run_figure():
 @pytest.mark.benchmark(group="chaos")
 def test_chaos_matrix_recovery_overhead(benchmark):
     table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
-    print_table(table)
+    finish_bench("chaos_matrix", table, benchmark=benchmark)
     assert all(row["correct"] for row in table.rows)
     crash = table.find(fault="node_crash")
     # A node crash costs real recovery time (detection + re-execution)...

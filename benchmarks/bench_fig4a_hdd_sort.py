@@ -23,7 +23,7 @@ from benchmarks._harness import (
     SCALED_TB,
     column_by_variant,
     hdd_node,
-    print_table,
+    finish_bench,
     run_es_sort,
     sort_figure_table,
 )
@@ -79,7 +79,7 @@ def test_fig4a_hdd_sort(benchmark):
             f"with injected failure: {variant} at 400 partitions: {seconds:.1f}s"
             f" (clean: {clean[variant][400]:.1f}s)"
         )
-    print_table(table, extra)
+    finish_bench("fig4a_hdd_sort", table, benchmark=benchmark, extra_lines=extra)
     print_sort_figure_chart(table, 'Fig 4a shape (seconds by partitions)')
 
     # -- shape assertions -------------------------------------------------

@@ -16,7 +16,7 @@ from benchmarks._harness import (
     print_sort_figure_chart,
     SCALED_TB,
     column_by_variant,
-    print_table,
+    finish_bench,
     sort_figure_table,
     ssd_node,
 )
@@ -46,7 +46,7 @@ def _run_figure():
 @pytest.mark.benchmark(group="fig4b")
 def test_fig4b_ssd_sort(benchmark):
     table, theory = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
-    print_table(table, [f"theoretical 4D/B baseline: {theory:.1f}s"])
+    finish_bench("fig4b_ssd_sort", table, benchmark=benchmark, extra_lines=[f"theoretical 4D/B baseline: {theory:.1f}s"])
     print_sort_figure_chart(table, 'Fig 4b shape (seconds by partitions)')
     clean = {v: column_by_variant(table, v) for v in VARIANTS + ["spark"]}
 

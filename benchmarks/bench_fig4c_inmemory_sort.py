@@ -14,7 +14,7 @@ from repro.metrics import ResultTable
 
 from benchmarks._harness import (
     column_by_variant,
-    print_table,
+    finish_bench,
     run_es_sort,
     ssd_node,
 )
@@ -50,7 +50,7 @@ def _run_figure():
 @pytest.mark.benchmark(group="fig4c")
 def test_fig4c_inmemory_sort(benchmark):
     table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
-    print_table(table)
+    finish_bench("fig4c_inmemory_sort", table, benchmark=benchmark)
     simple = column_by_variant(table, "simple")
     push = column_by_variant(table, "push*")
     # At 80 partitions simple wins (paper: by 20-70%).

@@ -18,7 +18,7 @@ from repro.common.units import GB
 from repro.metrics import ResultTable
 from repro.sort import theoretical_sort_seconds
 
-from benchmarks._harness import hdd_node, print_table, run_es_sort, run_spark_sort_on
+from benchmarks._harness import hdd_node, finish_bench, run_es_sort, run_spark_sort_on
 
 NUM_NODES = 20
 PARTITIONS = 1000
@@ -71,7 +71,7 @@ def _run_figure():
 @pytest.mark.benchmark(group="fig4d")
 def test_fig4d_large_scale_sort(benchmark):
     table, theory = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
-    print_table(table, [f"theoretical 4D/B baseline: {theory:.1f}s"])
+    finish_bench("fig4d_large_scale", table, benchmark=benchmark, extra_lines=[f"theoretical 4D/B baseline: {theory:.1f}s"])
     seconds = {row["system"]: row["seconds"] for row in table.rows}
     # The ordering of the three bars.
     assert seconds["exoshuffle (push*)"] < seconds["spark-push"] < seconds["spark"]

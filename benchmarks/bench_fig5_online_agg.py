@@ -18,7 +18,7 @@ from repro.futures import Runtime
 from repro.metrics import ResultTable
 from repro.workloads import PageviewDataset
 
-from benchmarks._harness import print_table, scaled_node
+from benchmarks._harness import finish_bench, scaled_node
 
 NUM_NODES = 10
 NUM_REDUCES = 8
@@ -66,8 +66,11 @@ def test_fig5_online_aggregation(benchmark):
     table, results = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
     batch, stream = results["batch"], results["streaming"]
     speedup = batch.first_time_within(0.08) / stream.first_time_within(0.08)
-    print_table(
+    finish_bench(
+        "fig5_online_agg",
         table,
+        benchmark=benchmark,
+        extra_lines=
         [
             f"partial-result speedup at 8% error: {speedup:.1f}x "
             f"(paper: 22x)",

@@ -19,7 +19,7 @@ from repro.futures import Runtime
 from repro.metrics import ResultTable
 from repro.sort import SortJobConfig, run_sort
 
-from benchmarks._harness import print_table
+from benchmarks._harness import finish_bench
 
 DATA_SIZES = [20 * GB, 60 * GB, 120 * GB, 200 * GB]
 NUM_PARTITIONS = 100
@@ -72,7 +72,7 @@ def _run_figure():
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_dask_vs_ray(benchmark):
     table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
-    print_table(table)
+    finish_bench("fig6_dask_ray", table, benchmark=benchmark)
 
     def cell(backend, data_gb):
         return table.find(backend=backend, data_gb=data_gb)

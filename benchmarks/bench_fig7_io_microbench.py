@@ -19,7 +19,7 @@ from repro.common.units import KB, MB, MIB
 from repro.futures import Runtime, RuntimeConfig
 from repro.metrics import ResultTable
 
-from benchmarks._harness import print_table
+from benchmarks._harness import finish_bench
 
 TOTAL_BYTES = 1000 * MB  # 16 GB : 1 GB in the paper, scaled 4x
 STORE_BYTES = 256 * MIB
@@ -108,7 +108,7 @@ def _run_figure():
 @pytest.mark.benchmark(group="fig7")
 def test_fig7_io_mitigations(benchmark):
     table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
-    print_table(table)
+    finish_bench("fig7_io_microbench", table, benchmark=benchmark)
 
     def cell(object_kb, fusing, prefetch=True):
         return table.find(object_kb=object_kb, fusing=fusing, prefetch=prefetch)[

@@ -25,7 +25,7 @@ from repro.ml import (
 )
 from repro.ml.loaders import stage_blocks
 
-from benchmarks._harness import print_table
+from benchmarks._harness import finish_bench
 
 EPOCHS = 20
 NUM_BLOCKS = 16
@@ -100,7 +100,7 @@ def _run_figure():
 def test_fig8_single_node_training(benchmark):
     table, exo, pet = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
     speedup = pet.total_seconds / exo.total_seconds
-    print_table(table, [f"end-to-end speedup: {speedup:.2f}x (paper: 2.4x)"])
+    finish_bench("fig8_ml_single_node", table, benchmark=benchmark, extra_lines=[f"end-to-end speedup: {speedup:.2f}x (paper: 2.4x)"])
     # Throughput: pipelined full shuffle is much faster end to end.
     assert speedup > 1.8
     # Convergence: full shuffle reaches higher accuracy...

@@ -21,7 +21,7 @@ from repro.ml import (
 )
 from repro.ml.loaders import stage_blocks
 
-from benchmarks._harness import print_table
+from benchmarks._harness import finish_bench
 
 EPOCHS = 20
 NUM_NODES = 4
@@ -70,7 +70,7 @@ def _run_figure():
 @pytest.mark.benchmark(group="fig9")
 def test_fig9_distributed_training(benchmark):
     table, full, partial = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
-    print_table(table)
+    finish_bench("fig9_ml_distributed", table, benchmark=benchmark)
     # Partial shuffle is fully local: per-epoch time no slower than full.
     assert partial.mean_epoch_seconds <= full.mean_epoch_seconds * 1.05
     # Full shuffle converges to (slightly) higher accuracy.

@@ -13,7 +13,7 @@ import pytest
 from repro.jobs import mixed_workload, run_jobs
 from repro.metrics import ResultTable
 
-from benchmarks._harness import print_table
+from benchmarks._harness import finish_bench
 
 SEED = 4
 FLEET_SIZES = (1, 4, 16)
@@ -49,7 +49,7 @@ def _run_figure():
 @pytest.mark.benchmark(group="jobs")
 def test_jobs_concurrency_throughput_and_fairness(benchmark):
     table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
-    print_table(table)
+    finish_bench("jobs_concurrency", table, benchmark=benchmark)
     assert all(row["all_done"] for row in table.rows)
     one = table.find(num_jobs=1)
     sixteen = table.find(num_jobs=16)

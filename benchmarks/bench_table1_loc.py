@@ -11,7 +11,7 @@ import pytest
 from repro.metrics import ResultTable
 from repro.tools.loc import PAPER_MONOLITHIC_LOC, shuffle_library_loc
 
-from benchmarks._harness import print_table
+from benchmarks._harness import finish_bench
 
 #: The paper's Exoshuffle LoC, for reference alongside ours.
 PAPER_EXOSHUFFLE_LOC = {
@@ -41,7 +41,7 @@ def _run_table():
 @pytest.mark.benchmark(group="table1")
 def test_table1_lines_of_code(benchmark):
     table = benchmark.pedantic(_run_table, rounds=1, iterations=1)
-    print_table(table)
+    finish_bench("table1_loc", table, benchmark=benchmark)
     for row in table.rows:
         # Order of magnitude smaller than the monolithic counterpart.
         assert row["our_loc"] * 10 <= row["monolithic_loc"]

@@ -1,0 +1,35 @@
+"""Benchmark-suite pytest hooks: the ``--trace-dir PATH`` option.
+
+``pytest benchmarks/ --trace-dir out/`` makes every figure benchmark export
+its observability record (``<name>.events.jsonl`` + ``<name>.trace.json``
+Chrome trace) and its ``BENCH_<name>.json`` result file into ``PATH``
+via :func:`benchmarks._harness.finish_bench`.  Without the option, JSON
+results land in the working directory and trace export is skipped.
+"""
+
+import pytest
+
+from benchmarks import _harness
+
+
+def pytest_addoption(parser):
+    """Register ``--trace-dir PATH`` for the benchmark suite."""
+    parser.addoption(
+        "--trace-dir",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="directory to write observability traces and BENCH_*.json "
+        "result files into",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _trace_dir(request):
+    """Point the harness at the session's ``--trace`` directory and
+    drop any runtime remembered from a previous test (so a benchmark
+    without its own runtime never exports a stale trace)."""
+    _harness.LAST_RUNTIME = None
+    _harness.set_trace_dir(request.config.getoption("--trace-dir"))
+    yield
+    _harness.set_trace_dir(None)

@@ -117,15 +117,28 @@ class ChaosInjector:
         self.env.call_later(fault.at_time, begin)
         self.env.call_later(fault.at_time + fault.duration, stop)
 
-    def _log(self, kind: FaultKind, node_id: Optional[NodeId]) -> None:
+    def _log(self, kind: FaultKind, node_id: Optional[NodeId]) -> Optional[object]:
+        """Record a fired fault; returns the bus event (for causal links)."""
         self.injected.append((self.env.now, kind.value, node_id))
         self.runtime.counters.add("chaos_faults_injected", 1)
+        return self.runtime.bus.emit(
+            "chaos.fault", node=node_id, fault=kind.value
+        )
 
     # -- fault actions -------------------------------------------------------
     def _crash(self, fault: FaultSpec, node: "Node") -> None:
-        self._log(fault.kind, node.node_id)
+        event = self._log(fault.kind, node.node_id)
+        # Note the fault's event seq so the ensuing node.death (and the
+        # task.retry events it triggers) link back to this fault causally.
+        self.runtime.note_fault_cause(
+            node.node_id, getattr(event, "seq", None)
+        )
         node.fail()
-        self.env.call_later(fault.duration, node.restart)
+        self.env.call_later(fault.duration, lambda: self._restart(node))
+
+    def _restart(self, node: "Node") -> None:
+        node.restart()
+        self.runtime.bus.emit("node.restart", node=node.node_id)
 
     def _set_link(self, a: "Node", b: "Node", down: bool) -> None:
         # The fault models a broken cable: both directions go together.
@@ -145,7 +158,8 @@ class ChaosInjector:
         primaries become directory-*lost* objects, reconstructed on demand
         by lineage (or surfacing ``ObjectLostError`` for ``put()`` data).
         """
-        self._log(fault.kind, node.node_id)
+        event = self._log(fault.kind, node.node_id)
+        fault_seq = getattr(event, "seq", None)
         runtime = self.runtime
         manager = runtime.node_managers[node.node_id]
         rng = seeded_rng(self.plan.seed, "chaos-objloss", index)
@@ -157,11 +171,13 @@ class ChaosInjector:
                 manager.store.free(oid)
                 runtime.directory.remove_memory_location(oid, node.node_id)
                 runtime.maybe_drop_payload(oid)
+                runtime.note_object_fault(oid, fault_seq)
                 lost += 1
         for oid in manager.spill.spilled_objects():
             if rng.random() < fault.severity:
                 manager.spill.forget(oid)
                 runtime.maybe_drop_payload(oid)
+                runtime.note_object_fault(oid, fault_seq)
                 lost += 1
         runtime.counters.add("chaos_objects_lost", lost)
 

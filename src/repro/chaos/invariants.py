@@ -26,6 +26,10 @@ validates:
   (``runtime.job_counters`` non-empty), every attributable counter's
   per-job buckets sum exactly to the global counter: no work is double-
   charged and none escapes attribution.
+- **Metric dimensions** -- for every counter in the runtime's
+  :class:`~repro.obs.registry.MetricRegistry`, each populated dimension
+  axis (per-node, per-job) sums exactly to the counter's global series:
+  the registry's lockstep-write contract held for the whole run.
 
 ``check()`` returns human-readable violation strings (empty = healthy);
 ``assert_clean()`` raises :class:`~repro.common.errors.InvariantViolationError`.
@@ -61,6 +65,7 @@ class InvariantChecker:
         violations.extend(self._check_durability())
         violations.extend(self._check_task_completion())
         violations.extend(self._check_job_accounting())
+        violations.extend(self._check_metric_dimensions())
         return violations
 
     def assert_clean(self) -> None:
@@ -275,6 +280,37 @@ class InvariantChecker:
                     f"counter {key!r}: job buckets sum to {total:g} but the "
                     f"global counter reads {global_value:g} (attribution drift)"
                 )
+        return out
+
+    # -- metric-registry dimension accounting -------------------------------------
+    def _check_metric_dimensions(self) -> List[str]:
+        """Every populated axis of every registry counter sums to its
+        global series.
+
+        The :class:`~repro.obs.registry.MetricRegistry` writes the global
+        series and each populated dimension in lockstep; a mismatch means
+        some call site wrote one side without the other (or mutated a
+        snapshot in place).  Runtimes without a registry (hand-built test
+        doubles) are skipped.
+        """
+        out: List[str] = []
+        registry = getattr(self.runtime, "metrics", None)
+        if registry is None:
+            return out
+        for name in registry.counter_names():
+            total = registry.counter_total(name)
+            for axis in ("node", "job"):
+                values = registry.counter_by(name, axis)
+                if not values:
+                    continue
+                axis_sum = sum(values.values())
+                tolerance = max(1e-6, 1e-9 * abs(total))
+                if abs(axis_sum - total) > tolerance:
+                    out.append(
+                        f"metric {name!r}: {axis} dimension sums to "
+                        f"{axis_sum:g} but the global series reads {total:g} "
+                        f"(lockstep-write drift)"
+                    )
         return out
 
     # -- task completion --------------------------------------------------------

@@ -135,8 +135,11 @@ class DriverHost:
     """Runs one primary driver (plus spawned subdrivers) against a
     simulation environment, one thread at a time."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment, bus: Optional[Any] = None) -> None:
         self.env = env
+        #: Optional structured event bus (:class:`repro.obs.EventBus`);
+        #: subdriver lifecycles publish ``driver.spawn``/``driver.finish``.
+        self.bus = bus
         self._sim_sem = threading.Semaphore(0)
         self._channels: Dict[threading.Thread, _DriverChannel] = {}
         self._order: List[_DriverChannel] = []
@@ -233,6 +236,13 @@ class DriverHost:
         if channel.finished and not channel.reaped:
             channel.reaped = True
             kind, value = channel.outcome  # type: ignore[misc]
+            if self.bus is not None and channel.label is not None:
+                self.bus.emit(
+                    "driver.finish",
+                    job=channel.label,
+                    name=channel.name,
+                    ok=kind == "ok",
+                )
             # Triggering env events is safe here: the simulation is parked.
             if kind == "ok":
                 channel.done.succeed(value)
@@ -280,6 +290,8 @@ class DriverHost:
         channel = self._make_channel(
             fn, args, kwargs, name=name or f"subdriver-{seq}", label=label
         )
+        if self.bus is not None and label is not None:
+            self.bus.emit("driver.spawn", job=label, name=channel.name)
         return DriverHandle(channel)
 
     def join(self, handle: DriverHandle) -> Any:

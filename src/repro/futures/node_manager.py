@@ -61,6 +61,7 @@ class NodeManager:
             node.spec.object_store_bytes,
             on_pressure=self._on_pressure,
             on_evict_cached=self._on_evict_cached,
+            bus=runtime.bus,
         )
         self.spill = SpillManager(
             node,
@@ -69,6 +70,7 @@ class NodeManager:
             runtime.config,
             runtime.counters,
             charge=runtime.charge_object,
+            bus=runtime.bus,
         )
         self.pending_tasks = 0
         self._fetch_sem = Resource(
@@ -124,13 +126,19 @@ class NodeManager:
         self._active_records.clear()
         self.pending_tasks = 0
         self.runtime.counters.add("executor_failures", 1)
+        failure = self.runtime.bus.emit(
+            "executor.failure", node=self.node_id, casualties=len(casualties)
+        )
+        cause = failure.seq if failure is not None else None
+        if cause is not None:
+            self.runtime._last_fault_event[self.node_id] = cause
 
         def requeue() -> None:
             # Runs after the interrupts have been delivered, so the dying
             # task processes have finished unwinding.
             for record in casualties:
                 if record.phase not in (TaskPhase.FINISHED, TaskPhase.FAILED):
-                    self.runtime.resubmit_task(record)
+                    self.runtime.resubmit_task(record, cause=cause)
 
         self.env.call_later(0.0, requeue)
         return len(casualties)
@@ -185,6 +193,14 @@ class NodeManager:
 
             record.phase = TaskPhase.RUNNING
             record.started_at = self.env.now
+            self.runtime.bus.emit(
+                "task.run",
+                task=spec.task_id,
+                node=self.node_id,
+                job=spec.options.job_id,
+                attempt=spec.attempts,
+                fn=spec.fn_name,
+            )
             overhead = config.task_overhead_s + config.per_object_overhead_s * (
                 len(spec.args) + len(spec.return_ids)
             )
@@ -209,6 +225,13 @@ class NodeManager:
             record.phase = TaskPhase.FINISHED
             record.finished_at = self.env.now
             self.runtime.charge_task(spec.options, "tasks_finished", 1)
+            self.runtime.bus.emit(
+                "task.finish",
+                task=spec.task_id,
+                node=self.node_id,
+                job=spec.options.job_id,
+                attempt=spec.attempts,
+            )
             self._active_records.pop(record, None)
             self.pending_tasks -= 1
             self.runtime.task_finished(record)
@@ -382,7 +405,31 @@ class NodeManager:
                     yield runtime.node_managers[source].spill.restore_read(
                         object_id
                     )
-                yield runtime.cluster.send(source, self.node_id, record.size)
+                begin = runtime.bus.emit(
+                    "transfer.begin",
+                    node=self.node_id,
+                    obj=object_id,
+                    src=str(source),
+                    bytes=record.size,
+                )
+                try:
+                    yield runtime.cluster.send(source, self.node_id, record.size)
+                except (NodeFailure, IOError):
+                    runtime.bus.emit(
+                        "transfer.end",
+                        node=self.node_id,
+                        obj=object_id,
+                        cause=begin.seq if begin is not None else None,
+                        ok=False,
+                    )
+                    raise
+                runtime.bus.emit(
+                    "transfer.end",
+                    node=self.node_id,
+                    obj=object_id,
+                    cause=begin.seq if begin is not None else None,
+                    ok=True,
+                )
             except (NodeFailure, IOError):
                 if placement == "memory":
                     self.store.free(object_id)
@@ -502,6 +549,13 @@ class NodeManager:
             # "disk": the spill manager's fallback already recorded the
             # spill location and charged the write.
         directory.mark_created(object_id, size)
+        self.runtime.bus.emit(
+            "object.create",
+            obj=object_id,
+            node=self.node_id,
+            job=options.job_id,
+            bytes=size,
+        )
 
     # -- cost model -------------------------------------------------------------
     def _input_bytes(self, spec: TaskSpec) -> int:

@@ -62,11 +62,15 @@ class ObjectStore:
         capacity_bytes: int,
         on_pressure: Optional[Callable[[], None]] = None,
         on_evict_cached: Optional[Callable[[ObjectId], None]] = None,
+        bus: Optional[object] = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("store capacity must be positive")
         self.env = env
         self.node_id = node_id
+        #: Optional structured event bus (:class:`repro.obs.EventBus`);
+        #: parked allocations publish ``store.pressure`` events into it.
+        self.bus = bus
         self.capacity = capacity_bytes
         self.used_bytes = 0
         #: Bytes of entries currently pinned by executing/fetching tasks.
@@ -147,6 +151,14 @@ class ObjectStore:
         if self._try_grant(request):
             return request.event
         self._queue.append(request)
+        if self.bus is not None:
+            self.bus.emit(
+                "store.pressure",
+                node=self.node_id,
+                obj=object_id,
+                bytes=size,
+                backlog=len(self._queue),
+            )
         self._on_pressure()
         return request.event
 

@@ -59,6 +59,8 @@ from repro.futures.task import (
     TaskSpec,
 )
 from repro.metrics.core import Counters
+from repro.obs.events import EventBus
+from repro.obs.registry import MetricRegistry
 from repro.simcore import Environment, Event
 
 #: Per-job accounting bucket for work carrying no job id (plain
@@ -84,6 +86,20 @@ class Runtime:
         self.config = config or RuntimeConfig()
         self.ids: IdGenerator = cluster.ids
         self.counters = Counters()
+        #: Structured event bus (repro.obs): every subsystem publishes
+        #: typed, causally linked events here; exported by the tracer
+        #: and the run reporter.
+        self.bus = EventBus(clock=lambda: self.env.now)
+        #: Dimensioned metrics (per-node / per-job counters, gauges,
+        #: histograms) fed alongside the flat ``counters``.
+        self.metrics = MetricRegistry()
+        #: Chaos causality plumbing: fault event seqs noted by the
+        #: injector before it kills a node / loses an object, consumed
+        #: when the death or reconstruction is observed so retry events
+        #: link back to the fault that caused them.
+        self._fault_causes: Dict[NodeId, int] = {}
+        self._object_fault_causes: Dict[ObjectId, int] = {}
+        self._last_fault_event: Dict[NodeId, int] = {}
         #: Per-job counter buckets keyed by job id (multi-tenant control
         #: plane); every charge path adds to both the global counters and
         #: the owning job's bucket, so bucket sums equal the global value
@@ -105,7 +121,7 @@ class Runtime:
             node.on_death(self._on_node_death)
         self.scheduler = Scheduler(self)
         self.driver_node_id: NodeId = cluster.node_ids[0]
-        self._driver = DriverHost(self.env)
+        self._driver = DriverHost(self.env, bus=self.bus)
         #: Optional chaos hook: ``hook(spec, node_id) -> extra_seconds``
         #: taxes a task attempt with additional latency (straggler
         #: injection).  Installed by :class:`repro.chaos.ChaosInjector`.
@@ -179,6 +195,8 @@ class Runtime:
         """
         self.counters.add(name, amount)
         self.job_bucket(options.job_id).add(name, amount)
+        key = options.job_id if options.job_id is not None else UNATTRIBUTED_JOB
+        self.metrics.counter(name, amount, job=key)
 
     def charge_object(
         self, object_id: ObjectId, name: str, amount: float = 1.0
@@ -196,6 +214,8 @@ class Runtime:
             if record is not None:
                 job_id = record.spec.options.job_id
         self.job_bucket(job_id).add(name, amount)
+        key = job_id if job_id is not None else UNATTRIBUTED_JOB
+        self.metrics.counter(name, amount, job=key)
 
     # -- submission (driver-side, non-blocking) -----------------------------
     def submit_task(
@@ -245,6 +265,14 @@ class Runtime:
             self._object_creator[oid] = task_id
         refs = [make_ref(self, oid) for oid in return_ids]
         self.charge_task(options, "tasks_submitted", 1)
+        self.bus.emit(
+            "task.submit",
+            task=task_id,
+            job=options.job_id,
+            fn=fn_name,
+            returns=[str(oid) for oid in return_ids],
+            deps=[str(a.object_id) for a in arg_descs if isinstance(a, RefArg)],
+        )
         self._schedule_when_ready(record)
         return refs
 
@@ -309,6 +337,13 @@ class Runtime:
             record.counted = False
             self._count_consumers(record, -1)
         self.charge_task(record.spec.options, "tasks_failed", 1)
+        self.bus.emit(
+            "task.fail",
+            task=record.spec.task_id,
+            job=record.spec.options.job_id,
+            node=record.assigned_node,
+            error=type(error).__name__,
+        )
         for oid in record.spec.return_ids:
             self.directory.mark_failed(oid, error)
         for ref in record.held_refs:
@@ -371,6 +406,7 @@ class Runtime:
         self.payloads.pop(object_id, None)
         self.directory.drop(object_id)
         self.counters.add("objects_evicted", 1)
+        self.bus.emit("object.evict", obj=object_id)
 
     def maybe_drop_payload(self, object_id: ObjectId) -> None:
         """Drop the Python payload if no copy survives anywhere."""
@@ -378,15 +414,39 @@ class Runtime:
             self.payloads.pop(object_id, None)
 
     # -- fault tolerance -----------------------------------------------------
+    def note_fault_cause(self, node_id: NodeId, seq: Optional[int]) -> None:
+        """Record the event seq of a fault about to kill ``node_id`` so
+        the ensuing ``node.death`` links back to it (chaos injector)."""
+        if seq is not None:
+            self._fault_causes[node_id] = seq
+
+    def note_object_fault(self, object_id: ObjectId, seq: Optional[int]) -> None:
+        """Record the fault seq behind an object loss so the eventual
+        reconstruction retry links back to it (chaos injector)."""
+        if seq is not None:
+            self._object_fault_causes[object_id] = seq
+
     def _on_node_death(self, node: Node) -> None:
         manager = self.node_managers[node.node_id]
         casualties = manager.kill()
         lost_objects = self.directory_objects_on(node.node_id)
         self.counters.add("node_failures", 1)
+        death = self.bus.emit(
+            "node.death",
+            node=node.node_id,
+            cause=self._fault_causes.pop(node.node_id, None),
+            casualties=len(casualties),
+            lost_objects=len(lost_objects),
+        )
+        death_seq = death.seq if death is not None else None
+        if death_seq is not None:
+            self._last_fault_event[node.node_id] = death_seq
         self.scheduler.note_failure(node.node_id)
         self.env.call_later(
             self.config.failure_detection_s,
-            lambda: self._after_failure_detected(node, casualties, lost_objects),
+            lambda: self._after_failure_detected(
+                node, casualties, lost_objects, death_seq
+            ),
         )
 
     def directory_objects_on(self, node_id: NodeId) -> List[ObjectId]:
@@ -405,6 +465,7 @@ class Runtime:
         node: Node,
         casualties: List[TaskRecord],
         lost_objects: List[ObjectId],
+        cause: Optional[int] = None,
     ) -> None:
         """Heartbeat timeout elapsed: clean metadata and re-execute."""
         for oid in lost_objects:
@@ -414,15 +475,17 @@ class Runtime:
         for record in casualties:
             if record.phase in (TaskPhase.FINISHED, TaskPhase.FAILED):
                 continue
-            self._resubmit(record)
+            self._resubmit(record, cause=cause)
 
-    def resubmit_task(self, record: TaskRecord) -> None:
+    def resubmit_task(
+        self, record: TaskRecord, cause: Optional[int] = None
+    ) -> None:
         """Public entry for re-executing an interrupted task (used by
         executor-failure handling; node failures go through the
-        detection path)."""
-        self._resubmit(record)
+        detection path).  ``cause`` is the triggering fault's event seq."""
+        self._resubmit(record, cause=cause)
 
-    def _resubmit(self, record: TaskRecord) -> None:
+    def _resubmit(self, record: TaskRecord, cause: Optional[int] = None) -> None:
         """Re-execute a task (lineage reconstruction, §4.2.3).
 
         The configured :class:`~repro.futures.retry.RetryPolicy` governs
@@ -443,6 +506,16 @@ class Runtime:
             )
             return
         self.charge_task(spec.options, "tasks_resubmitted", 1)
+        if cause is None and record.assigned_node is not None:
+            cause = self._last_fault_event.get(record.assigned_node)
+        self.bus.emit(
+            "task.retry",
+            task=spec.task_id,
+            job=spec.options.job_id,
+            node=record.assigned_node,
+            cause=cause,
+            attempt=spec.attempts + 1,
+        )
         for oid in spec.return_ids:
             dep_record = self.directory.maybe_get(oid)
             if dep_record is not None and not dep_record.available:
@@ -501,7 +574,9 @@ class Runtime:
             if not self.config.enable_lineage_reconstruction:
                 return event.fail(ObjectLostError(object_id, "unreconstructable"))
             self.directory.mark_uncreated(object_id)
-            self._resubmit(creator)
+            self._resubmit(
+                creator, cause=self._object_fault_causes.pop(object_id, None)
+            )
         # else: the creating task is in flight; its completion will fire.
 
         def on_ready(_oid: ObjectId, error: Optional[BaseException]) -> None:
@@ -614,6 +689,9 @@ class Runtime:
         if placement == "memory":
             self.directory.add_memory_location(object_id, manager.node_id)
         self.directory.mark_created(object_id, size)
+        self.bus.emit(
+            "object.create", obj=object_id, node=manager.node_id, bytes=size
+        )
 
     def replicate(self, refs: Sequence[ObjectRef], copies: int = 2) -> None:
         """Ensure each object has at least ``copies`` durable copies on
@@ -749,3 +827,25 @@ class Runtime:
             job_id: bucket.snapshot()
             for job_id, bucket in self.job_counters.items()
         }
+
+    def sample_gauges(self) -> None:
+        """Sample point-in-time per-node gauges into :attr:`metrics`.
+
+        Called by :func:`repro.obs.record_run` before export (and usable
+        mid-run for occupancy timelines): object-store occupancy, pinned
+        bytes, allocation backlog, and spilled bytes per node.
+        """
+        for node_id, manager in self.node_managers.items():
+            store = manager.store
+            self.metrics.gauge_set(
+                "store_used_bytes", store.used_bytes, node=node_id
+            )
+            self.metrics.gauge_set(
+                "store_pinned_bytes", store.pinned_bytes, node=node_id
+            )
+            self.metrics.gauge_set(
+                "store_backlog", store.backlog, node=node_id
+            )
+            self.metrics.gauge_set(
+                "spilled_bytes", manager.spill.spilled_bytes, node=node_id
+            )

@@ -54,6 +54,12 @@ class Scheduler:
     def dispatch(self, record: "TaskRecord") -> None:
         """Launch a dependency-ready task immediately (global FIFO)."""
         node_id = self.place(record)
+        self.runtime.bus.emit(
+            "task.place",
+            task=record.spec.task_id,
+            node=node_id,
+            job=record.spec.options.job_id,
+        )
         self.runtime.node_managers[node_id].submit(record)
 
     def task_done(self, record: "TaskRecord") -> None:
@@ -261,6 +267,12 @@ class FairShareScheduler(Scheduler):
             super().dispatch(record)
             return
         self._queues[job_id].append(record)
+        self.runtime.bus.emit(
+            "task.park",
+            task=record.spec.task_id,
+            job=job_id,
+            queued=len(self._queues[job_id]),
+        )
         self._pump()
 
     def task_done(self, record: "TaskRecord") -> None:

@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.futures.config import RuntimeConfig
     from repro.futures.directory import ObjectDirectory
     from repro.futures.object_store import ObjectStore
+    from repro.obs.events import EventBus
 
 
 class SpillFile:
@@ -77,6 +78,7 @@ class SpillManager:
         config: "RuntimeConfig",
         counters: Counters,
         charge: Optional[Callable[[ObjectId, str, float], None]] = None,
+        bus: Optional["EventBus"] = None,
     ) -> None:
         self.node = node
         self.env = node.env
@@ -84,6 +86,9 @@ class SpillManager:
         self.directory = directory
         self.config = config
         self.counters = counters
+        #: Optional structured event bus; spill writes, restore reads,
+        #: and filesystem fallbacks publish begin/end events into it.
+        self.bus = bus
         #: Optional per-object charge hook ``(object_id, counter, amount)``
         #: mirroring spill I/O into per-job accounting buckets (the global
         #: counters above are always charged directly).
@@ -111,6 +116,11 @@ class SpillManager:
     @property
     def in_flight(self) -> int:
         return self._in_flight
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Total bytes currently held on this node's disk."""
+        return sum(slot.size for slot in self._slots.values())
 
     # -- the pressure valve --------------------------------------------------
     def kick(self) -> None:
@@ -177,22 +187,45 @@ class SpillManager:
         if self.charge is not None:
             for oid, size in batch:
                 self.charge(oid, "spill_bytes_written", size)
+        begin = None
+        if self.bus is not None:
+            begin = self.bus.emit(
+                "spill.write.begin",
+                node=self.node.node_id,
+                bytes=total,
+                objects=len(batch),
+                file=file.file_id,
+            )
         # One sequential write per file; an unfused "file" per object means
         # one seek-bearing operation per object.
         write = self.node.disk.transfer(
             total,
             latency=self.node.disk.per_op_latency,
         )
-        write.add_callback(lambda event: self._finish_spill(file, batch, event.ok))
+        write.add_callback(
+            lambda event: self._finish_spill(file, batch, event.ok, begin)
+        )
 
     def _finish_spill(
-        self, file: SpillFile, batch: List[Tuple[ObjectId, int]], ok: bool
+        self,
+        file: SpillFile,
+        batch: List[Tuple[ObjectId, int]],
+        ok: bool,
+        begin: Optional[object] = None,
     ) -> None:
         # Note: ``_in_flight`` stays held until all bookkeeping below is
         # done; intermediate ``free``/``pump`` calls re-enter ``kick`` and
         # must not start a new spill that re-selects this batch's objects.
         for oid, _size in batch:
             self.store.unpin(oid)
+        if self.bus is not None:
+            self.bus.emit(
+                "spill.write.end",
+                node=self.node.node_id,
+                cause=getattr(begin, "seq", None),
+                ok=ok,
+                file=file.file_id,
+            )
         if not ok:
             # The disk died mid-spill (node failure); the store is being
             # cleared by the death handler, nothing more to do.
@@ -222,6 +255,13 @@ class SpillManager:
             return
         self.counters.add("fallback_allocations", 1)
         self.counters.add("disk_bytes_written", request.size)
+        if self.bus is not None:
+            self.bus.emit(
+                "spill.fallback",
+                node=self.node.node_id,
+                obj=request.object_id,
+                bytes=request.size,
+            )
         write = self.node.disk_write(request.size, sequential=True)
 
         def done(event: object) -> None:
@@ -269,7 +309,27 @@ class SpillManager:
         self.counters.add("disk_bytes_read", slot.size)
         if self.charge is not None:
             self.charge(object_id, "spill_bytes_read", slot.size)
-        return self.node.disk.transfer(slot.size, latency=latency)
+        begin = None
+        if self.bus is not None:
+            begin = self.bus.emit(
+                "spill.restore.begin",
+                node=self.node.node_id,
+                obj=object_id,
+                bytes=slot.size,
+                sequential=sequential,
+            )
+        read = self.node.disk.transfer(slot.size, latency=latency)
+        if self.bus is not None:
+            begin_seq = getattr(begin, "seq", None)
+            read.add_callback(
+                lambda _event: self.bus.emit(
+                    "spill.restore.end",
+                    node=self.node.node_id,
+                    obj=object_id,
+                    cause=begin_seq,
+                )
+            )
+        return read
 
     # -- GC / failure ------------------------------------------------------
     def forget(self, object_id: ObjectId) -> None:

@@ -79,12 +79,22 @@ class JobManager:
         job_id = f"job-{next(self._ids)}"
         job = Job(spec=spec, job_id=job_id, submitted_at=self.runtime.now)
         self.jobs[job_id] = job
+        bus = self.runtime.bus
+        bus.emit(
+            "job.submit", job=job_id, tenant=spec.tenant, name=spec.name
+        )
         try:
             self.admission.submit(job)
         except JobControlError as exc:
             job.state = JobState.REJECTED
             job.error = exc
             job.finished_at = self.runtime.now
+            bus.emit(
+                "job.reject",
+                job=job_id,
+                tenant=spec.tenant,
+                error=type(exc).__name__,
+            )
             raise
         return job
 
@@ -92,6 +102,9 @@ class JobManager:
         """Cancel a still-queued job (typed error recorded on the job)."""
         self.admission.cancel(job)
         job.finished_at = self.runtime.now
+        self.runtime.bus.emit(
+            "job.cancel", job=job.job_id, tenant=job.spec.tenant
+        )
 
     # -- execution ------------------------------------------------------------
     def run(self) -> List[Job]:
@@ -148,6 +161,13 @@ class JobManager:
             tenant=tenant.name,
             tenant_task_slots=tenant.quota.max_task_slots,
         )
+        self.runtime.bus.emit(
+            "job.admit",
+            job=job.job_id,
+            tenant=tenant.name,
+            weight=tenant.weight * job.spec.weight,
+            queue_wait_s=job.queue_wait or 0.0,
+        )
 
     def _resolve_variant(self, job: Job) -> str:
         spec = job.spec
@@ -172,6 +192,10 @@ class JobManager:
         rt = self.runtime
         job.state = JobState.RUNNING
         job.started_at = rt.now
+        start = rt.bus.emit(
+            "job.start", job=job.job_id, tenant=job.spec.tenant
+        )
+        start_seq = start.seq if start is not None else None
         try:
             variant = self._resolve_variant(job)
             job.planned_variant = variant
@@ -185,6 +209,22 @@ class JobManager:
             job.state = JobState.FAILED
             job.error = exc
         job.finished_at = rt.now
+        if job.state is JobState.DONE:
+            rt.bus.emit(
+                "job.done",
+                job=job.job_id,
+                tenant=job.spec.tenant,
+                cause=start_seq,
+                variant=job.planned_variant,
+            )
+        else:
+            rt.bus.emit(
+                "job.fail",
+                job=job.job_id,
+                tenant=job.spec.tenant,
+                cause=start_seq,
+                error=type(job.error).__name__,
+            )
         return job
 
     # -- metrics --------------------------------------------------------------

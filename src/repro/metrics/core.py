@@ -33,9 +33,16 @@ class Counters:
         return dict(self._values)
 
     def snapshot(self) -> Dict[str, float]:
-        """A point-in-time copy of all counters (alias of :meth:`as_dict`,
-        named for the snapshot/reset idiom of interval measurement)."""
-        return dict(self._values)
+        """A point-in-time copy of all counters (delegates to
+        :meth:`as_dict`; named for the snapshot/reset idiom of interval
+        measurement)."""
+        return self.as_dict()
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one (summing shared keys) --
+        e.g. aggregating per-job buckets into a per-tenant total."""
+        for name, amount in other.as_dict().items():
+            self._values[name] += amount
 
     def reset(self) -> Dict[str, float]:
         """Zero every counter; returns the values held just before the

@@ -30,6 +30,7 @@ def task_spans(runtime: "Runtime") -> List[Dict[str, Any]]:
                 "name": record.spec.fn_name,
                 "task_id": str(record.spec.task_id),
                 "node": str(record.assigned_node),
+                "job_id": record.spec.options.job_id,
                 "start": record.started_at,
                 "end": record.finished_at,
                 "queue_delay": record.started_at - record.submitted_at,
@@ -79,12 +80,30 @@ def _assign_lanes(spans: List[Dict[str, Any]]) -> List[int]:
 
 
 def chrome_trace_events(runtime: "Runtime") -> List[Dict[str, Any]]:
-    """Complete-event ("ph": "X") list in Chrome trace format."""
+    """Complete-event ("ph": "X") list in Chrome trace format.
+
+    Task spans come from the runtime's task records; when the runtime
+    carries a populated event bus (``runtime.bus``), spill write/restore
+    and inter-node transfer spans derived from it are added on lanes
+    above each node's task lanes, so the I/O that explains a task's
+    timing is visible in the same process row.
+    """
     by_node: Dict[str, List[Dict[str, Any]]] = defaultdict(list)
     for span in task_spans(runtime):
         by_node[span["node"]].append(span)
+    # Bus-derived I/O spans (lazy import: repro.obs depends on
+    # repro.metrics.core, so this module must not import it at top level).
+    io_by_node: Dict[str, List[Any]] = defaultdict(list)
+    bus = getattr(runtime, "bus", None)
+    if bus is not None and getattr(bus, "events", None):
+        from repro.obs.trace import derive_spans
+
+        for span in derive_spans(bus.events):
+            if span.cat in ("spill", "transfer") and span.node is not None:
+                io_by_node[span.node].append(span)
     events: List[Dict[str, Any]] = []
-    for pid, (node, spans) in enumerate(sorted(by_node.items())):
+    for pid, node in enumerate(sorted(set(by_node) | set(io_by_node))):
+        spans = by_node.get(node, [])
         events.append(
             {
                 "name": "process_name",
@@ -106,16 +125,41 @@ def chrome_trace_events(runtime: "Runtime") -> List[Dict[str, Any]]:
                     "dur": (span["end"] - span["start"]) * 1e6,
                     "args": {
                         "task_id": span["task_id"],
+                        "job_id": span["job_id"],
                         "queue_delay_s": span["queue_delay"],
                         "attempts": span["attempts"],
                     },
+                }
+            )
+        io_spans = sorted(
+            io_by_node.get(node, []), key=lambda s: (s.start, s.end, s.name)
+        )
+        io_base = (max(lanes) + 1) if lanes else 0
+        io_lanes = _assign_lanes(
+            [{"start": s.start, "end": s.end} for s in io_spans]
+        )
+        for span, lane in zip(io_spans, io_lanes):
+            args = dict(span.attrs)
+            if span.obj is not None:
+                args["object"] = span.obj
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": io_base + lane,
+                    "ts": span.start * 1e6,
+                    "dur": (span.end - span.start) * 1e6,
+                    "args": args,
                 }
             )
     return events
 
 
 def export_chrome_trace(runtime: "Runtime", path: str) -> int:
-    """Write the trace JSON; returns the number of task events."""
+    """Write the trace JSON; returns the number of complete ("X")
+    events written (task spans plus bus-derived I/O spans)."""
     events = chrome_trace_events(runtime)
     Path(path).write_text(json.dumps({"traceEvents": events}))
     return sum(1 for e in events if e.get("ph") == "X")

@@ -1,0 +1,51 @@
+"""Run-wide observability plane: event bus, span tracer, metric registry.
+
+The paper's central claim -- shuffle-as-a-library matching monolithic
+shuffle systems -- is only checkable if the data plane is *visible*:
+spill/restore traffic, pipelined prefetching, scheduler placement, and
+recovery after faults (Exoshuffle §5, Figs 4-9).  This package is the
+measurement substrate the runtime, scheduler, object store, spilling
+layer, node manager, jobs control plane, and chaos injector all publish
+into:
+
+- :class:`~repro.obs.events.EventBus` -- typed, timestamped, causally
+  linked events with node/job/task/object attribution (one bus per
+  :class:`~repro.futures.Runtime`);
+- :mod:`repro.obs.trace` -- derives causal spans (task lifecycle,
+  transfers, spill/restore I/O, job admission-to-completion) from the
+  bus and exports Chrome-trace JSON and JSONL;
+- :class:`~repro.obs.registry.MetricRegistry` -- counters, gauges, and
+  histograms with per-node and per-job dimensions plus snapshot/delta
+  reports;
+- :mod:`repro.obs.report` -- the run reporter behind
+  ``python -m repro.obs``: phase breakdowns, top-k slowest tasks,
+  per-tenant fairness, spill amplification, fault/retry timelines.
+
+See ``docs/observability.md`` for the event taxonomy and span model.
+"""
+
+from repro.obs.events import EVENT_KINDS, EventBus, ObsEvent
+from repro.obs.registry import GLOBAL_DIM, MetricRegistry
+from repro.obs.report import RunReport, record_run
+from repro.obs.trace import (
+    Span,
+    derive_spans,
+    export_span_jsonl,
+    span_chrome_events,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventBus",
+    "ObsEvent",
+    "MetricRegistry",
+    "GLOBAL_DIM",
+    "RunReport",
+    "record_run",
+    "Span",
+    "derive_spans",
+    "span_chrome_events",
+    "export_span_jsonl",
+    "write_chrome_trace",
+]

@@ -1,0 +1,269 @@
+"""The structured event bus: what happened, when, where, and why.
+
+Every subsystem of the data plane publishes :class:`ObsEvent` records
+into one per-runtime :class:`EventBus`.  An event is a *typed* fact --
+its ``kind`` must come from the registered taxonomy
+(:data:`EVENT_KINDS`), so a typo in an instrumentation hook fails fast
+instead of silently producing an unreportable stream -- carrying the
+simulated timestamp, the four attribution axes (``node``, ``job``,
+``task``, ``object``), an optional *causal parent* (the ``seq`` of the
+event that made this one happen: a chaos fault causes a node death,
+which causes a task retry), and free-form ``attrs``.
+
+Events are recorded in emission order (the simulated clock is
+monotonic, so ``ts`` is non-decreasing and ``seq`` is a total order)
+and can be streamed to subscribers, exported to JSONL, and re-loaded
+for offline reporting (:mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+#: The registered event taxonomy: kind -> one-line description.  The
+#: span tracer and the run reporter key off these names; extend with
+#: :meth:`EventBus.register_kind` before emitting a new kind.
+EVENT_KINDS: Dict[str, str] = {
+    # task lifecycle
+    "task.submit": "driver submitted a task (attrs: fn, returns, deps)",
+    "task.place": "scheduler chose a node for a dependency-ready task",
+    "task.park": "fair-share scheduler queued the task behind its job",
+    "task.run": "an attempt started executing on a core (attrs: attempt)",
+    "task.finish": "an attempt finished successfully",
+    "task.fail": "the task failed terminally (attrs: error)",
+    "task.retry": "the task was resubmitted (cause: the triggering fault)",
+    # object lifecycle and movement
+    "object.create": "an object became available (attrs: bytes)",
+    "object.evict": "refcount hit zero; the object was evicted everywhere",
+    "transfer.begin": "an inter-node object transfer started (attrs: src)",
+    "transfer.end": "the transfer completed (cause: transfer.begin)",
+    # spilling
+    "spill.write.begin": "a spill write started (attrs: bytes, objects)",
+    "spill.write.end": "the spill write completed (cause: its begin)",
+    "spill.restore.begin": "a restore read started (attrs: bytes)",
+    "spill.restore.end": "the restore completed (cause: its begin)",
+    "spill.fallback": "allocation fell back to the filesystem (attrs: bytes)",
+    "store.pressure": "an allocation parked in the store queue (attrs: bytes)",
+    # nodes, executors, drivers
+    "node.death": "a node died (cause: the chaos fault, when injected)",
+    "node.restart": "a crashed node came back",
+    "executor.failure": "all executors on a node were killed, store intact",
+    "driver.spawn": "a subdriver started (attrs: name; job = its label)",
+    "driver.finish": "a subdriver returned (attrs: ok)",
+    # multi-tenant job control plane
+    "job.submit": "a job entered admission (attrs: tenant, name)",
+    "job.reject": "admission rejected the job (attrs: error)",
+    "job.admit": "the job was admitted and registered for fair sharing",
+    "job.start": "the job's subdriver began running",
+    "job.done": "the job completed successfully (cause: job.start)",
+    "job.fail": "the job failed (cause: job.start; attrs: error)",
+    "job.cancel": "a queued job was cancelled",
+    # chaos
+    "chaos.fault": "the injector fired a fault (attrs: fault)",
+    # synthetic
+    "run.summary": "trailing export record: counters and per-job buckets",
+}
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One timestamped, attributed, causally linked fact about a run."""
+
+    seq: int
+    ts: float
+    kind: str
+    node: Optional[str] = None
+    job: Optional[str] = None
+    task: Optional[str] = None
+    obj: Optional[str] = None
+    cause: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable dict (``None`` axes omitted)."""
+        out: Dict[str, Any] = {"seq": self.seq, "ts": self.ts, "kind": self.kind}
+        for key in ("node", "job", "task", "obj", "cause"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ObsEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            seq=int(data["seq"]),
+            ts=float(data["ts"]),
+            kind=str(data["kind"]),
+            node=data.get("node"),
+            job=data.get("job"),
+            task=data.get("task"),
+            obj=data.get("obj"),
+            cause=data.get("cause"),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+    def __repr__(self) -> str:
+        axes = ", ".join(
+            f"{k}={getattr(self, k)}"
+            for k in ("node", "job", "task", "obj", "cause")
+            if getattr(self, k) is not None
+        )
+        return f"<ObsEvent #{self.seq} t={self.ts:g} {self.kind} {axes}>"
+
+
+class EventBus:
+    """Collects and fans out :class:`ObsEvent` records for one run.
+
+    ``clock`` supplies timestamps (the runtime passes its simulated
+    clock).  Emission is cheap -- an object append plus subscriber
+    callbacks -- and can be switched off wholesale with ``enabled``
+    for runs that want zero observability overhead.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.clock = clock or (lambda: 0.0)
+        self.enabled = enabled
+        self.events: List[ObsEvent] = []
+        self._kinds = dict(EVENT_KINDS)
+        self._subscribers: List[Callable[[ObsEvent], None]] = []
+        self._seq = 0
+
+    # -- taxonomy -----------------------------------------------------------
+    def register_kind(self, kind: str, description: str) -> None:
+        """Extend the taxonomy (idempotent); required before emitting a
+        kind absent from :data:`EVENT_KINDS`."""
+        self._kinds[kind] = description
+
+    def known_kinds(self) -> Dict[str, str]:
+        """The taxonomy this bus accepts (kind -> description)."""
+        return dict(self._kinds)
+
+    # -- emission -----------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        *,
+        node: Any = None,
+        job: Optional[str] = None,
+        task: Any = None,
+        obj: Any = None,
+        cause: Optional[int] = None,
+        **attrs: Any,
+    ) -> Optional[ObsEvent]:
+        """Publish one event; returns it (so its ``seq`` can become a
+        later event's ``cause``), or ``None`` when the bus is disabled.
+
+        ``node``/``task``/``obj`` accept the typed ids and are
+        stringified for stable JSON round-trips.
+        """
+        if not self.enabled:
+            return None
+        if kind not in self._kinds:
+            raise ValueError(
+                f"unknown event kind {kind!r}; register it or use one of "
+                f"the taxonomy in repro.obs.events.EVENT_KINDS"
+            )
+        event = ObsEvent(
+            seq=self._seq,
+            ts=float(self.clock()),
+            kind=kind,
+            node=None if node is None else str(node),
+            job=job,
+            task=None if task is None else str(task),
+            obj=None if obj is None else str(obj),
+            cause=cause,
+            attrs=attrs,
+        )
+        self._seq += 1
+        self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, fn: Callable[[ObsEvent], None]) -> Callable[[], None]:
+        """Stream every future event to ``fn``; returns an unsubscribe
+        callable."""
+        self._subscribers.append(fn)
+
+        def unsubscribe() -> None:
+            if fn in self._subscribers:
+                self._subscribers.remove(fn)
+
+        return unsubscribe
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def next_seq(self) -> int:
+        """The seq the next emitted event would get (used by exporters
+        appending synthetic trailing records)."""
+        return self._seq
+
+    def events_of(self, prefix: str) -> List[ObsEvent]:
+        """Events whose kind equals ``prefix`` or starts with
+        ``prefix + '.'`` (e.g. ``"task"`` matches every task event)."""
+        dotted = prefix + "."
+        return [
+            e for e in self.events
+            if e.kind == prefix or e.kind.startswith(dotted)
+        ]
+
+    def by_seq(self) -> Dict[int, ObsEvent]:
+        """Recorded events indexed by ``seq``."""
+        return {e.seq: e for e in self.events}
+
+    def causal_chain(self, event: ObsEvent) -> List[ObsEvent]:
+        """The event plus its transitive causes, effect first."""
+        index = self.by_seq()
+        chain = [event]
+        seen = {event.seq}
+        while chain[-1].cause is not None:
+            parent = index.get(chain[-1].cause)
+            if parent is None or parent.seq in seen:
+                break
+            chain.append(parent)
+            seen.add(parent.seq)
+        return chain
+
+    def clear(self) -> None:
+        """Drop recorded events (sequence numbers keep increasing)."""
+        self.events.clear()
+
+    # -- persistence ----------------------------------------------------------
+    def to_jsonl(self, path: str, extra: Iterable[ObsEvent] = ()) -> int:
+        """Write events (plus ``extra`` trailing records) as JSON lines;
+        returns the number written."""
+        events = list(self.events) + list(extra)
+        with Path(path).open("w") as fh:
+            for event in events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        return len(events)
+
+    @staticmethod
+    def load_jsonl(path: str) -> List[ObsEvent]:
+        """Re-load events written by :meth:`to_jsonl`."""
+        events = []
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if line:
+                events.append(ObsEvent.from_dict(json.loads(line)))
+        return events
+
+    def __repr__(self) -> str:
+        return (
+            f"<EventBus {len(self.events)} events, "
+            f"{'enabled' if self.enabled else 'disabled'}>"
+        )

@@ -1,0 +1,192 @@
+"""Dimensioned metrics: counters, gauges, and histograms by node and job.
+
+The runtime's flat :class:`~repro.metrics.core.Counters` answer "how
+much, in total"; the registry answers "how much, *where* and *for
+whom*".  Every series is a metric name plus an optional ``node`` and/or
+``job`` dimension; writes always update both the dimensioned series and
+the undimensioned global, so per-dimension values sum exactly to the
+global for every populated axis -- the accounting invariant the chaos
+checker's metric-dimension family asserts.
+
+``snapshot()`` captures everything as plain nested dicts and
+``delta()`` closes a measurement interval against a previous snapshot,
+which is how the run reporter prints phase-scoped counter movement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.metrics.core import Histogram
+
+#: The dimension key used for the undimensioned (global) series.
+GLOBAL_DIM = "<all>"
+
+#: Job dimension for work not attributed to any job (mirrors
+#: ``repro.futures.runtime.UNATTRIBUTED_JOB`` without importing it --
+#: the registry must not depend on the runtime).
+UNATTRIBUTED = "<unattributed>"
+
+_AXES = ("node", "job")
+
+
+def _dims(node: Any, job: Optional[str]) -> Tuple[Tuple[str, str], ...]:
+    """Normalised (axis, value) pairs for the populated dimensions."""
+    out: List[Tuple[str, str]] = []
+    if node is not None:
+        out.append(("node", str(node)))
+    if job is not None:
+        out.append(("job", str(job)))
+    return tuple(out)
+
+
+class MetricRegistry:
+    """Per-run metric store with node and job dimensions."""
+
+    def __init__(self) -> None:
+        # name -> axis ("<all>"/"node"/"job") -> dim value -> number
+        self._counters: Dict[str, Dict[str, Dict[str, float]]] = {}
+        self._gauges: Dict[str, Dict[str, Dict[str, float]]] = {}
+        # (name, axis, dim value) -> Histogram
+        self._histograms: Dict[Tuple[str, str, str], Histogram] = {}
+
+    # -- counters ------------------------------------------------------------
+    def counter(
+        self,
+        name: str,
+        amount: float = 1.0,
+        *,
+        node: Any = None,
+        job: Optional[str] = None,
+    ) -> None:
+        """Add to a monotonic counter, charging the global series and
+        every populated dimension axis in lockstep."""
+        series = self._counters.setdefault(name, {})
+        series.setdefault(GLOBAL_DIM, {}).setdefault(GLOBAL_DIM, 0.0)
+        series[GLOBAL_DIM][GLOBAL_DIM] += amount
+        for axis, value in _dims(node, job):
+            bucket = series.setdefault(axis, {})
+            bucket[value] = bucket.get(value, 0.0) + amount
+
+    def counter_total(self, name: str) -> float:
+        """The global value of a counter (0 if never touched)."""
+        return self._counters.get(name, {}).get(GLOBAL_DIM, {}).get(
+            GLOBAL_DIM, 0.0
+        )
+
+    def counter_by(self, name: str, axis: str) -> Dict[str, float]:
+        """One axis of a counter (``"node"`` or ``"job"``) as a dict."""
+        if axis not in _AXES:
+            raise ValueError(f"unknown axis {axis!r}; expected one of {_AXES}")
+        return dict(self._counters.get(name, {}).get(axis, {}))
+
+    def counter_names(self) -> List[str]:
+        """Every counter name ever written, sorted."""
+        return sorted(self._counters)
+
+    # -- gauges --------------------------------------------------------------
+    def gauge_set(
+        self,
+        name: str,
+        value: float,
+        *,
+        node: Any = None,
+        job: Optional[str] = None,
+    ) -> None:
+        """Set a point-in-time gauge (store occupancy, queue depth).
+
+        The global series holds the *sum* over the most specific
+        populated dimension, recomputed on every write, so per-node
+        gauges aggregate the way occupancy should.
+        """
+        series = self._gauges.setdefault(name, {})
+        dims = _dims(node, job)
+        if not dims:
+            series.setdefault(GLOBAL_DIM, {})[GLOBAL_DIM] = float(value)
+            return
+        for axis, dim_value in dims:
+            series.setdefault(axis, {})[dim_value] = float(value)
+        # Re-derive the global as the sum over the first populated axis.
+        axis = dims[0][0]
+        series.setdefault(GLOBAL_DIM, {})[GLOBAL_DIM] = sum(
+            series[axis].values()
+        )
+
+    def gauge(self, name: str, *, node: Any = None, job: Optional[str] = None) -> float:
+        """Read a gauge (the global sum when no dimension is given)."""
+        series = self._gauges.get(name, {})
+        dims = _dims(node, job)
+        if not dims:
+            return series.get(GLOBAL_DIM, {}).get(GLOBAL_DIM, 0.0)
+        axis, value = dims[0]
+        return series.get(axis, {}).get(value, 0.0)
+
+    # -- histograms ------------------------------------------------------------
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        node: Any = None,
+        job: Optional[str] = None,
+    ) -> None:
+        """Record a sample into the global histogram and each populated
+        dimension's histogram."""
+        keys = [(name, GLOBAL_DIM, GLOBAL_DIM)]
+        keys.extend((name, axis, dim) for axis, dim in _dims(node, job))
+        for key in keys:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(
+                    f"{key[0]}[{key[1]}={key[2]}]"
+                )
+            hist.record(value)
+
+    def histogram(
+        self, name: str, *, node: Any = None, job: Optional[str] = None
+    ) -> Histogram:
+        """The histogram for one series (empty if never observed)."""
+        dims = _dims(node, job)
+        key = (name, *dims[0]) if dims else (name, GLOBAL_DIM, GLOBAL_DIM)
+        return self._histograms.get(key) or Histogram(name)
+
+    # -- snapshot / delta ------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything as nested plain dicts (JSON-serialisable)."""
+        return {
+            "counters": {
+                name: {axis: dict(vals) for axis, vals in series.items()}
+                for name, series in self._counters.items()
+            },
+            "gauges": {
+                name: {axis: dict(vals) for axis, vals in series.items()}
+                for name, series in self._gauges.items()
+            },
+            "histograms": {
+                f"{name}[{axis}={dim}]": hist.snapshot()
+                for (name, axis, dim), hist in self._histograms.items()
+            },
+        }
+
+    def delta(self, previous: Dict[str, Any]) -> Dict[str, Any]:
+        """Counter movement since ``previous`` (a :meth:`snapshot`).
+
+        Gauges and histograms are point-in-time / cumulative summaries,
+        so the delta reports only counters; untouched series drop out.
+        """
+        prev = previous.get("counters", {})
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for name, series in self._counters.items():
+            for axis, values in series.items():
+                for dim, value in values.items():
+                    before = prev.get(name, {}).get(axis, {}).get(dim, 0.0)
+                    moved = value - before
+                    if moved:
+                        out.setdefault(name, {}).setdefault(axis, {})[dim] = moved
+        return {"counters": out}
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )

@@ -1,0 +1,258 @@
+"""The run reporter: from a recorded event stream to a readable story.
+
+``record_run`` exports a runtime's bus as JSONL with a trailing
+synthetic ``run.summary`` event carrying the flat counters, the per-job
+buckets, and the dimensioned metric snapshot -- one file is the whole
+run.  :class:`RunReport` loads that file (or a live event list) and
+renders the sections behind ``python -m repro.obs``:
+
+- phase breakdown (per task function: count, makespan, busy core-seconds,
+  mean queue delay);
+- top-k slowest task attempts;
+- per-job/per-tenant summary with the max/min completion-ratio fairness
+  figure of merit;
+- spill amplification (spill bytes written per task output byte);
+- the fault/retry timeline, each retry annotated with its causal chain
+  back to the fault that triggered it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.metrics.tables import ResultTable
+from repro.obs.events import EventBus, ObsEvent
+from repro.obs.trace import Span, derive_spans
+
+
+def record_run(runtime: Any, path: str) -> int:
+    """Export a runtime's event bus to ``path`` as JSONL.
+
+    Samples the per-node gauges first, then appends a synthetic
+    ``run.summary`` event holding ``runtime.stats()``, the per-job
+    counter buckets, and the metric-registry snapshot, so the file is
+    self-sufficient for offline reporting.  Returns the number of lines
+    written.  ``runtime`` is duck-typed (needs ``bus``, ``stats``,
+    ``job_stats``, ``metrics``, ``sample_gauges``).
+    """
+    runtime.sample_gauges()
+    bus: EventBus = runtime.bus
+    summary = ObsEvent(
+        seq=bus.next_seq,
+        ts=float(bus.clock()),
+        kind="run.summary",
+        attrs={
+            "stats": runtime.stats(),
+            "job_stats": runtime.job_stats(),
+            "metrics": runtime.metrics.snapshot(),
+        },
+    )
+    return bus.to_jsonl(path, extra=[summary])
+
+
+class RunReport:
+    """Sections of a run story, derived from a recorded event stream."""
+
+    def __init__(self, events: Sequence[ObsEvent]) -> None:
+        self.events: List[ObsEvent] = list(events)
+        self.spans: List[Span] = derive_spans(self.events)
+        self._index = {e.seq: e for e in self.events}
+        #: The trailing ``run.summary`` attrs ({} when absent).
+        self.summary: Dict[str, Any] = {}
+        for event in reversed(self.events):
+            if event.kind == "run.summary":
+                self.summary = dict(event.attrs)
+                break
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        """Build a report from a :func:`record_run` JSONL file."""
+        return cls(EventBus.load_jsonl(path))
+
+    # -- sections -------------------------------------------------------------
+    def task_spans(self) -> List[Span]:
+        """Completed task-attempt spans, sorted by start time."""
+        return [s for s in self.spans if s.cat == "task"]
+
+    def phase_table(self) -> ResultTable:
+        """Per task function: count, makespan, busy core-s, mean wait."""
+        grouped: Dict[str, List[Span]] = defaultdict(list)
+        for span in self.task_spans():
+            grouped[span.name].append(span)
+        table = ResultTable(
+            "Phase breakdown",
+            [
+                "phase",
+                "tasks",
+                "first_start",
+                "last_end",
+                "busy_core_s",
+                "mean_queue_s",
+            ],
+        )
+        for name in sorted(grouped):
+            spans = grouped[name]
+            waits = [s.attrs.get("queue_delay", 0.0) for s in spans]
+            table.add_row(
+                phase=name,
+                tasks=len(spans),
+                first_start=min(s.start for s in spans),
+                last_end=max(s.end for s in spans),
+                busy_core_s=sum(s.duration for s in spans),
+                mean_queue_s=sum(waits) / len(waits),
+            )
+        return table
+
+    def slowest_tasks(self, k: int = 10) -> ResultTable:
+        """The ``k`` longest task attempts."""
+        table = ResultTable(
+            "Slowest tasks",
+            ["task", "fn", "node", "job", "duration_s", "attempt", "status"],
+        )
+        ranked = sorted(
+            self.task_spans(), key=lambda s: (-s.duration, s.task or "")
+        )
+        for span in ranked[:k]:
+            table.add_row(
+                task=span.task,
+                fn=span.name,
+                node=span.node,
+                job=span.job or "-",
+                duration_s=span.duration,
+                attempt=span.attrs.get("attempt", 1),
+                status=span.attrs.get("status", "?"),
+            )
+        return table
+
+    def per_job_spill_bytes(self) -> Dict[str, float]:
+        """Spill bytes written charged to each job bucket (from the
+        recorded ``run.summary``)."""
+        return {
+            job_id: bucket.get("spill_bytes_written", 0.0)
+            for job_id, bucket in self.summary.get("job_stats", {}).items()
+        }
+
+    def job_table(self) -> ResultTable:
+        """One row per job seen on the bus: tenant, timings, key bytes."""
+        job_stats: Dict[str, Dict[str, float]] = self.summary.get(
+            "job_stats", {}
+        )
+        waits = {
+            s.job: s.duration for s in self.spans if s.cat == "job.wait"
+        }
+        runs = {s.job: s for s in self.spans if s.cat == "job"}
+        jobs = sorted(set(job_stats) | set(runs))
+        table = ResultTable(
+            "Jobs",
+            [
+                "job",
+                "tenant",
+                "status",
+                "queue_wait_s",
+                "duration_s",
+                "tasks",
+                "spill_bytes",
+            ],
+        )
+        for job in jobs:
+            span = runs.get(job)
+            bucket = job_stats.get(job, {})
+            table.add_row(
+                job=job,
+                tenant=(span.attrs.get("tenant") if span else None) or "-",
+                status=(span.attrs.get("status") if span else None) or "-",
+                queue_wait_s=waits.get(job, 0.0),
+                duration_s=span.duration if span else 0.0,
+                tasks=bucket.get("tasks_finished", 0.0),
+                spill_bytes=bucket.get("spill_bytes_written", 0.0),
+            )
+        return table
+
+    def fairness_ratio(self) -> Optional[float]:
+        """Max/min completed-job duration ratio (None under two jobs)."""
+        durations = [
+            s.duration
+            for s in self.spans
+            if s.cat == "job" and s.attrs.get("status") == "ok" and s.duration
+        ]
+        if len(durations) < 2:
+            return None
+        return max(durations) / min(durations)
+
+    def spill_amplification(self) -> Optional[float]:
+        """Spill bytes written per task output byte (None without output)."""
+        stats = self.summary.get("stats", {})
+        output = stats.get("task_output_bytes", 0.0)
+        if not output:
+            return None
+        return stats.get("spill_bytes_written", 0.0) / output
+
+    def fault_timeline(self) -> List[str]:
+        """Chronological fault / death / retry lines with causal chains."""
+        lines = []
+        for event in self.events:
+            if event.kind not in (
+                "chaos.fault",
+                "node.death",
+                "node.restart",
+                "executor.failure",
+                "task.retry",
+            ):
+                continue
+            chain = self._chain(event)
+            suffix = ""
+            if len(chain) > 1:
+                suffix = "  <= " + " <= ".join(e.kind for e in chain[1:])
+            where = event.node or event.task or event.job or ""
+            detail = event.attrs.get("fault") or event.attrs.get("attempt")
+            detail_s = f" ({detail})" if detail is not None else ""
+            lines.append(
+                f"t={event.ts:10.3f}  {event.kind:<18} {where}{detail_s}{suffix}"
+            )
+        return lines
+
+    def _chain(self, event: ObsEvent) -> List[ObsEvent]:
+        chain = [event]
+        seen = {event.seq}
+        while chain[-1].cause is not None:
+            parent = self._index.get(chain[-1].cause)
+            if parent is None or parent.seq in seen:
+                break
+            chain.append(parent)
+            seen.add(parent.seq)
+        return chain
+
+    # -- rendering ------------------------------------------------------------
+    def render(self, top_k: int = 10) -> str:
+        """The full multi-section report as one printable string."""
+        parts: List[str] = []
+        stats = self.summary.get("stats", {})
+        parts.append(
+            f"Run of {len(self.events)} events, "
+            f"t_end={stats.get('time', max((e.ts for e in self.events), default=0.0)):g}s"
+        )
+        if self.task_spans():
+            parts.append("")
+            parts.append(self.phase_table().render())
+            parts.append("")
+            parts.append(self.slowest_tasks(top_k).render())
+        job_table = self.job_table()
+        if len(job_table):
+            parts.append("")
+            parts.append(job_table.render())
+            ratio = self.fairness_ratio()
+            if ratio is not None:
+                parts.append(f"fairness (max/min job duration): {ratio:.2f}x")
+        amp = self.spill_amplification()
+        if amp is not None:
+            parts.append("")
+            parts.append(
+                f"spill amplification: {amp:.3f} bytes spilled per output byte"
+            )
+        timeline = self.fault_timeline()
+        if timeline:
+            parts.append("")
+            parts.append("Fault / retry timeline")
+            parts.extend("  " + line for line in timeline)
+        return "\n".join(parts)

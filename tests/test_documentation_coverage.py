@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.graphs",
     "repro.workloads",
     "repro.metrics",
+    "repro.obs",
     "repro.tools",
 ]
 

@@ -1,0 +1,346 @@
+"""The observability plane: event bus, causal tracing, dimensioned metrics.
+
+Covers the ISSUE-3 acceptance surface:
+
+- event ordering under the simulated clock (``seq`` total order,
+  non-decreasing ``ts``) and taxonomy enforcement;
+- causal parent links in the derived trace match the runtime's lineage
+  (and, under chaos, a killed task's retry chains back to the fault);
+- per-node/per-job metric dimensions sum exactly to globals (the new
+  :class:`~repro.chaos.InvariantChecker` family);
+- Chrome-trace schema validation (complete/metadata/instant/flow events);
+- JSONL round-trips, metric snapshot/delta, Counters merge/snapshot, and
+  the run reporter's sections.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import FaultKind, InvariantChecker, matrix_plan
+from repro.chaos.harness import expected_output, make_inputs, submit_variant
+from repro.chaos.injector import ChaosInjector
+from repro.common.units import MIB
+from repro.futures import RetryPolicy, RuntimeConfig
+from repro.metrics import Counters, export_chrome_trace, task_spans
+from repro.obs import (
+    EVENT_KINDS,
+    EventBus,
+    GLOBAL_DIM,
+    MetricRegistry,
+    RunReport,
+    derive_spans,
+    record_run,
+    span_chrome_events,
+)
+from repro.obs.trace import lineage_parents
+
+from tests.conftest import make_runtime
+
+
+def _chain_runtime():
+    """A two-stage pipeline (map -> combine) on a fresh runtime."""
+    rt = make_runtime(num_nodes=2)
+
+    @rt.remote(compute=0.05)
+    def produce(i):
+        return [i, i + 1]
+
+    @rt.remote(compute=0.05)
+    def combine(*parts):
+        return sorted(x for part in parts for x in part)
+
+    def driver():
+        parts = [produce.remote(i) for i in range(4)]
+        return rt.get(combine.remote(*parts))
+
+    result = rt.run(driver)
+    assert result == [0, 1, 1, 2, 2, 3, 3, 4]
+    return rt
+
+
+def _chaos_runtime(seed=0):
+    """The acceptance scenario: push shuffle with a node crash mid-run."""
+    rt = make_runtime(
+        num_nodes=4,
+        config=RuntimeConfig(retry_policy=RetryPolicy(max_attempts=8)),
+    )
+    ChaosInjector(rt, matrix_plan(FaultKind.NODE_CRASH, seed=seed))
+    inputs = make_inputs(seed, 8, 24)
+    values = rt.run(lambda: rt.get(submit_variant("push", rt, inputs, 4)))
+    rt.env.run()  # drain the scheduled node restart
+    assert tuple(tuple(v) for v in values) == expected_output(seed)
+    return rt
+
+
+class TestEventBus:
+    def test_seq_is_a_total_order_and_ts_non_decreasing(self):
+        rt = _chain_runtime()
+        events = rt.bus.events
+        assert len(events) > 20
+        assert [e.seq for e in events] == list(range(len(events)))
+        for before, after in zip(events, events[1:]):
+            assert after.ts >= before.ts  # simulated clock is monotonic
+
+    def test_unknown_kind_is_rejected_until_registered(self):
+        bus = EventBus()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            bus.emit("made.up")
+        bus.register_kind("made.up", "test kind")
+        assert bus.emit("made.up").kind == "made.up"
+
+    def test_disabled_bus_emits_nothing(self):
+        bus = EventBus(enabled=False)
+        assert bus.emit("task.submit") is None
+        assert len(bus) == 0
+
+    def test_subscribers_stream_events(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        first = bus.emit("chaos.fault", node="N0")
+        unsubscribe()
+        bus.emit("node.death", node="N0", cause=first.seq)
+        assert [e.kind for e in seen] == ["chaos.fault"]
+
+    def test_events_of_matches_prefix_and_exact_kind(self):
+        rt = _chain_runtime()
+        tasks = rt.bus.events_of("task")
+        assert tasks and all(e.kind.startswith("task.") for e in tasks)
+        assert all(
+            e.kind == "task.submit" for e in rt.bus.events_of("task.submit")
+        )
+
+    def test_jsonl_round_trip_is_lossless(self, tmp_path):
+        rt = _chain_runtime()
+        path = tmp_path / "events.jsonl"
+        written = rt.bus.to_jsonl(str(path))
+        loaded = EventBus.load_jsonl(str(path))
+        assert written == len(rt.bus.events) == len(loaded)
+        assert loaded == rt.bus.events
+
+    def test_every_emitted_kind_is_in_the_taxonomy(self):
+        rt = _chaos_runtime()
+        assert {e.kind for e in rt.bus.events} <= set(EVENT_KINDS)
+
+
+class TestCausality:
+    def test_lineage_parents_match_runtime_truth(self):
+        rt = _chain_runtime()
+        derived = lineage_parents(rt.bus.events)
+        for task_id, record in rt.tasks.items():
+            truth = set()
+            for dep in record.spec.dependency_ids:
+                creator = rt._object_creator.get(dep)
+                if creator is not None:
+                    truth.add(str(creator))
+            assert set(derived.get(str(task_id), [])) == truth
+
+    def test_retry_chains_back_to_the_injected_fault(self):
+        rt = _chaos_runtime()
+        retries = rt.bus.events_of("task.retry")
+        assert retries
+        for retry in retries:
+            kinds = [e.kind for e in rt.bus.causal_chain(retry)]
+            assert "node.death" in kinds and "chaos.fault" in kinds
+
+    def test_reexecuted_attempt_span_parents_the_retry(self):
+        rt = _chaos_runtime()
+        retry_seqs = {e.seq for e in rt.bus.events_of("task.retry")}
+        spans = derive_spans(rt.bus.events)
+        retried = [
+            s for s in spans if s.cat == "task" and s.parent in retry_seqs
+        ]
+        assert retried
+        for span in retried:
+            assert span.attrs["attempt"] >= 2
+
+    def test_paired_spans_link_end_to_begin(self):
+        rt = make_runtime(num_nodes=2, store_mib=4)
+
+        @rt.remote(compute=0.01)
+        def blob():
+            return bytes(MIB)
+
+        rt.run(lambda: rt.get([blob.remote() for _ in range(10)]))
+        rt.env.run()
+        spans = derive_spans(rt.bus.events)
+        spill_spans = [s for s in spans if s.cat == "spill"]
+        assert spill_spans
+        index = rt.bus.by_seq()
+        for span in spill_spans:
+            begin = index[span.parent]
+            assert begin.kind.endswith(".begin")
+            assert begin.ts == span.start
+
+
+class TestMetricDimensions:
+    def test_per_job_counter_axes_sum_to_globals(self):
+        rt = make_runtime(num_nodes=2)
+
+        @rt.remote(compute=0.01)
+        def unit():
+            return 1
+
+        def job_body():
+            return sum(rt.get([unit.remote() for _ in range(5)]))
+
+        def driver():
+            handles = [
+                rt.spawn_driver(job_body, name=label, label=label)
+                for label in ("alpha", "beta")
+            ]
+            return [rt.join_driver(h) for h in handles]
+
+        assert rt.run(driver) == [5, 5]
+        by_job = rt.metrics.counter_by("tasks_finished", "job")
+        assert sum(by_job.values()) == rt.metrics.counter_total(
+            "tasks_finished"
+        )
+        assert by_job["alpha"] == by_job["beta"] == 5
+        violations = [
+            v for v in InvariantChecker(rt).check() if v.startswith("metric")
+        ]
+        assert violations == []
+
+    def test_invariant_family_catches_lockstep_drift(self):
+        rt = _chain_runtime()
+        name = rt.metrics.counter_names()[0]
+        # Corrupt one dimension bucket behind the registry's back.
+        rt.metrics._counters[name]["job"] = {"rogue": 123.0}
+        violations = [
+            v for v in InvariantChecker(rt).check() if v.startswith("metric")
+        ]
+        assert violations and name in violations[0]
+
+    def test_registry_snapshot_and_delta(self):
+        reg = MetricRegistry()
+        reg.counter("bytes", 10, node="N0", job="j1")
+        before = reg.snapshot()
+        reg.counter("bytes", 5, node="N1", job="j1")
+        reg.gauge_set("occupancy", 7.0, node="N0")
+        reg.observe("latency", 0.25, job="j1")
+        snap = reg.snapshot()
+        assert snap["counters"]["bytes"][GLOBAL_DIM][GLOBAL_DIM] == 15
+        assert snap["counters"]["bytes"]["node"] == {"N0": 10.0, "N1": 5.0}
+        assert snap["gauges"]["occupancy"][GLOBAL_DIM][GLOBAL_DIM] == 7.0
+        assert snap["histograms"]["latency[job=j1]"]["count"] == 1.0
+        moved = reg.delta(before)
+        assert moved["counters"]["bytes"][GLOBAL_DIM][GLOBAL_DIM] == 5
+        assert moved["counters"]["bytes"]["node"] == {"N1": 5.0}
+        assert "job" not in moved["counters"]["bytes"] or moved["counters"][
+            "bytes"
+        ]["job"] == {"j1": 5.0}
+
+    def test_counters_snapshot_and_merge(self):
+        a = Counters()
+        a.add("x", 2)
+        assert a.snapshot() == a.as_dict() == {"x": 2.0}
+        b = Counters()
+        b.add("x", 3)
+        b.add("y", 1)
+        a.merge(b)
+        assert a.as_dict() == {"x": 5.0, "y": 1.0}
+
+
+class TestChromeTraceSchema:
+    REQUIRED = {
+        "X": {"name", "cat", "pid", "tid", "ts", "dur"},
+        "M": {"name", "pid", "args"},
+        "i": {"name", "ph", "pid", "tid", "ts", "s"},
+        "s": {"name", "id", "pid", "tid", "ts"},
+        "f": {"name", "id", "pid", "tid", "ts"},
+    }
+
+    def test_all_events_carry_their_required_keys(self):
+        rt = _chaos_runtime()
+        trace = span_chrome_events(rt.bus.events)
+        assert trace
+        for event in trace:
+            ph = event["ph"]
+            assert ph in self.REQUIRED, f"unexpected phase {ph!r}"
+            missing = self.REQUIRED[ph] - set(event)
+            assert not missing, f"{ph} event missing {missing}"
+            if ph in ("X", "i", "s", "f"):
+                assert isinstance(event["pid"], int)
+                assert isinstance(event["tid"], int)
+                assert event["ts"] >= 0
+            if ph == "X":
+                assert event["dur"] >= 0
+
+    def test_flow_arrows_pair_start_and_finish_by_id(self):
+        rt = _chaos_runtime()
+        trace = span_chrome_events(rt.bus.events)
+        starts = {e["id"] for e in trace if e["ph"] == "s"}
+        finishes = {e["id"] for e in trace if e["ph"] == "f"}
+        assert finishes and finishes <= starts
+
+    def test_timeline_export_includes_io_spans_and_job_ids(self, tmp_path):
+        rt = make_runtime(num_nodes=2, store_mib=4)
+
+        @rt.remote(compute=0.01)
+        def blob():
+            return bytes(MIB)
+
+        def driver():
+            handle = rt.spawn_driver(
+                lambda: rt.get([blob.remote() for _ in range(10)]),
+                name="spiller",
+                label="spiller",
+            )
+            return rt.join_driver(handle)
+
+        rt.run(driver)
+        rt.env.run()
+        assert all(s["job_id"] == "spiller" for s in task_spans(rt))
+        path = tmp_path / "trace.json"
+        export_chrome_trace(rt, str(path))
+        events = json.loads(path.read_text())["traceEvents"]
+        cats = {e.get("cat") for e in events}
+        assert "spill" in cats  # bus-derived I/O rides along with tasks
+        assert all(
+            e["args"]["job_id"] == "spiller"
+            for e in events
+            if e.get("cat") == "task"
+        )
+
+
+class TestRunReport:
+    def test_report_round_trips_and_renders_all_sections(self, tmp_path):
+        rt = _chaos_runtime()
+        path = tmp_path / "run.jsonl"
+        record_run(rt, str(path))
+        report = RunReport.load(str(path))
+        rendered = report.render()
+        for section in ("Phase breakdown", "Slowest tasks",
+                        "Fault / retry timeline"):
+            assert section in rendered
+        assert "chaos.fault" in rendered
+
+    def test_per_job_spill_bytes_sum_to_global(self, tmp_path):
+        rt = make_runtime(num_nodes=2, store_mib=4)
+
+        @rt.remote(compute=0.01)
+        def blob():
+            return bytes(MIB)
+
+        def driver():
+            handles = [
+                rt.spawn_driver(
+                    lambda: rt.get([blob.remote() for _ in range(6)]),
+                    name=label,
+                    label=label,
+                )
+                for label in ("tenant-a", "tenant-b")
+            ]
+            return [rt.join_driver(h) for h in handles]
+
+        rt.run(driver)
+        rt.env.run()
+        path = tmp_path / "run.jsonl"
+        record_run(rt, str(path))
+        report = RunReport.load(str(path))
+        per_job = report.per_job_spill_bytes()
+        total = report.summary["stats"]["spill_bytes_written"]
+        assert total > 0
+        assert sum(per_job.values()) == total

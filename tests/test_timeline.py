@@ -81,10 +81,15 @@ class TestChromeTrace:
     def test_events_are_valid_trace_format(self):
         rt = _sorted_runtime()
         events = chrome_trace_events(rt)
-        tasks = [e for e in events if e.get("ph") == "X"]
+        tasks = [
+            e for e in events
+            if e.get("ph") == "X" and e.get("cat") == "task"
+        ]
         metas = [e for e in events if e.get("ph") == "M"]
         assert len(metas) == 2  # one per node
         assert len(tasks) == rt.counters.get("tasks_finished")
+        for event in tasks:
+            assert "job_id" in event["args"]
         for event in tasks:
             assert event["dur"] >= 0
             assert event["ts"] >= 0
