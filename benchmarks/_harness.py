@@ -195,6 +195,24 @@ def print_table(table: ResultTable, extra_lines: List[str] = ()) -> None:
         print(line)
 
 
+def _git_sha() -> Optional[str]:
+    """The repo HEAD this result was produced from, or ``None``."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
 def _wall_time_seconds(benchmark: Any) -> Optional[float]:
     """Total measured wall time from a pytest-benchmark fixture, or
     ``None`` when stats are unavailable (defensive across versions)."""
@@ -223,6 +241,13 @@ def finish_bench(
     :func:`make_runtime` call) and ``--trace`` is set, also exports the
     run's observability record -- a ``record_run`` JSONL and a Chrome
     trace -- and records their paths in the JSON.  Returns the JSON path.
+
+    Every result is stamped for comparability: the git SHA it was
+    produced from, a config *fingerprint* (bench name, the harness
+    scale factor, the cluster shape of the stamping runtime), and the
+    run's critical-path category summary.  ``python -m repro.obs diff``
+    keys off the fingerprint to refuse apples-to-oranges comparisons
+    and off the critpath summary to attribute regressions.
     """
     print_table(table, list(extra_lines))
     rt = runtime if runtime is not None else LAST_RUNTIME
@@ -235,9 +260,19 @@ def finish_bench(
         "wall_time_s": _wall_time_seconds(benchmark) if benchmark else None,
         "sim_time_s": rt.env.now if rt is not None else None,
         "counters": rt.counters.as_dict() if rt is not None else {},
+        "git_sha": _git_sha(),
+        "fingerprint": {
+            "bench": name,
+            "sort_scale": SORT_SCALE,
+            "cluster": rt.cluster_snapshot() if rt is not None else None,
+        },
         "events_jsonl": None,
         "chrome_trace": None,
     }
+    if rt is not None and rt.bus.events:
+        from repro.obs.perf import critical_path
+
+        payload["critpath"] = critical_path(rt.bus.events).to_dict()
     if rt is not None and _TRACE_DIR is not None:
         from repro.obs.report import record_run
         from repro.obs.trace import write_chrome_trace

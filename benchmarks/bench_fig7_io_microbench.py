@@ -16,10 +16,10 @@ import pytest
 
 from repro.cluster import SC1_MICROBENCH
 from repro.common.units import KB, MB, MIB
-from repro.futures import Runtime, RuntimeConfig
+from repro.futures import RuntimeConfig
 from repro.metrics import ResultTable
 
-from benchmarks._harness import finish_bench
+from benchmarks._harness import finish_bench, make_runtime
 
 TOTAL_BYTES = 1000 * MB  # 16 GB : 1 GB in the paper, scaled 4x
 STORE_BYTES = 256 * MIB
@@ -50,7 +50,9 @@ def _run_once(object_bytes: int, fusing: bool, prefetch: bool) -> float:
     node = dataclasses.replace(SC1_MICROBENCH, cores=1).with_object_store(
         STORE_BYTES
     )
-    rt = Runtime.create(node, 1, config=config)
+    # Via the harness so finish_bench can stamp the result (counters,
+    # simulated time, fingerprint, critical path) from the last run.
+    rt = make_runtime(node, 1, config=config)
     count = TOTAL_BYTES // object_bytes
     per_task = max(1, (32 * MB) // object_bytes)
     num_tasks = count // per_task

@@ -539,7 +539,20 @@ class NodeManager:
         if options.output_to_disk:
             self.runtime.counters.add("disk_bytes_written", size)
             self.runtime.counters.add("output_bytes_written", size)
+            begin = self.runtime.bus.emit(
+                "disk.write.begin",
+                node=self.node_id,
+                obj=object_id,
+                job=options.job_id,
+                bytes=size,
+            )
             yield self.node.disk_write(size, sequential=True)
+            self.runtime.bus.emit(
+                "disk.write.end",
+                node=self.node_id,
+                obj=object_id,
+                cause=begin.seq if begin is not None else None,
+            )
             self.spill.adopt(object_id, size)
         else:
             allocation = self.store.allocate(object_id, size, primary=True)

@@ -820,6 +820,26 @@ class Runtime:
         )
         return snapshot
 
+    def cluster_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Per-node hardware capacities, keyed by node id.
+
+        Recorded into ``run.summary`` so the perf layer can turn event
+        activity into utilization *fractions* (busy cores / total cores,
+        disk and NIC busy against their bandwidth, store occupancy
+        against capacity) offline, from the trace file alone.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for node_id, manager in self.node_managers.items():
+            spec = manager.node.spec
+            out[str(node_id)] = {
+                "name": spec.name,
+                "cores": spec.cores,
+                "object_store_bytes": spec.object_store_bytes,
+                "disk_bandwidth_bytes_per_sec": spec.disk.bandwidth_bytes_per_sec,
+                "nic_bandwidth_bytes_per_sec": spec.nic.bandwidth_bytes_per_sec,
+            }
+        return out
+
     def job_stats(self) -> Dict[str, Dict[str, float]]:
         """Per-job counter snapshots keyed by job id (buckets filled by
         :meth:`charge_task` / :meth:`charge_object`)."""

@@ -19,12 +19,25 @@ into:
   reports;
 - :mod:`repro.obs.report` -- the run reporter behind
   ``python -m repro.obs``: phase breakdowns, top-k slowest tasks,
-  per-tenant fairness, spill amplification, fault/retry timelines.
+  per-tenant fairness, spill amplification, fault/retry timelines;
+- :mod:`repro.obs.perf` -- the analysis tier on top of the spans:
+  critical-path extraction and bottleneck attribution
+  (``python -m repro.obs critpath``), per-node utilization timelines
+  (``usage``), and the benchmark baseline/regression gate (``diff``).
 
-See ``docs/observability.md`` for the event taxonomy and span model.
+See ``docs/observability.md`` for the event taxonomy and span model,
+and ``docs/perf.md`` for the analysis methodology.
 """
 
 from repro.obs.events import EVENT_KINDS, EventBus, ObsEvent
+from repro.obs.perf import (
+    CriticalPath,
+    DiffReport,
+    UsageTimeline,
+    compare_benches,
+    critical_path,
+    derive_usage,
+)
 from repro.obs.registry import GLOBAL_DIM, MetricRegistry
 from repro.obs.report import RunReport, record_run
 from repro.obs.trace import (
@@ -48,4 +61,10 @@ __all__ = [
     "span_chrome_events",
     "export_span_jsonl",
     "write_chrome_trace",
+    "CriticalPath",
+    "critical_path",
+    "UsageTimeline",
+    "derive_usage",
+    "DiffReport",
+    "compare_benches",
 ]

@@ -1,8 +1,21 @@
-"""CLI entry point: ``python -m repro.obs [TRACE] [--smoke]``.
+"""CLI entry point: ``python -m repro.obs [TRACE] [--smoke]`` plus the
+performance-analysis subcommands:
+
+- ``python -m repro.obs critpath TRACE`` -- critical-path extraction
+  and bottleneck attribution (category breakdown, what-if estimates);
+- ``python -m repro.obs usage TRACE`` -- per-node busy fractions and
+  the binding-resource timeline;
+- ``python -m repro.obs diff BASELINE CANDIDATE`` / ``diff --gate`` --
+  benchmark regression checking against ``benchmarks/baselines/``
+  (the CI perf gate; nonzero exit on regression or config mismatch);
+- ``python -m repro.obs bless RESULT...`` -- refresh committed
+  baselines from fresh ``BENCH_*.json`` files (volatile fields
+  stripped).
 
 Report mode loads a :func:`repro.obs.report.record_run` JSONL file and
 prints the full run story (phase breakdown, slowest tasks, jobs and
-fairness, spill amplification, fault/retry timeline).
+fairness, spill amplification, fault/retry timeline), followed by the
+critical-path and usage summaries.
 
 Smoke mode (``--smoke``) exercises the observability plane end to end
 and is the CI gate for this package:
@@ -15,7 +28,11 @@ and is the CI gate for this package:
 2. two labeled jobs on a spill-heavy cluster must charge spill bytes
    into per-job buckets that sum *exactly* to the global spill counter,
    with the metric-dimension invariant family clean;
-3. the reporter must render every section from the recorded file alone.
+3. the reporter must render every section from the recorded file alone;
+4. the perf layer must attribute the chaos run's critical path with the
+   categories summing to the makespan, derive a usage timeline, export
+   counter tracks, and the bench differ must flag a synthetic slowdown
+   while refusing mismatched configs.
 
 Exit code 0 means all checks held.
 """
@@ -24,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 from pathlib import Path
@@ -175,6 +193,68 @@ def _smoke_spill_accounting(seed: int, out_dir: Path) -> int:
     return failures
 
 
+def _smoke_perf(seed: int, out_dir: Path) -> int:
+    """The perf layer must attribute the recorded chaos run exactly."""
+    from repro.obs.events import EventBus
+    from repro.obs.perf import critical_path, derive_usage
+    from repro.obs.perf.diff import BenchMismatchError, compare_benches
+
+    failures = 0
+    events = EventBus.load_jsonl(str(out_dir / "chaos.events.jsonl"))
+    path = critical_path(events)
+    failures += _check(
+        path.makespan > 0 and path.coverage_error() < 0.01,
+        f"critical-path categories sum to the makespan "
+        f"({path.makespan:.3f}s, error {100 * path.coverage_error():.3f}%)",
+    )
+    failures += _check(
+        path.category_times()["compute"] > 0,
+        "critical path contains compute time",
+    )
+
+    timeline = derive_usage(events)
+    failures += _check(
+        bool(timeline.nodes)
+        and any(
+            timeline.busy_fraction("cpu", node) > 0
+            for node in timeline.nodes
+        ),
+        f"usage timeline shows CPU activity on {len(timeline.nodes)} nodes",
+    )
+    trace = json.loads((out_dir / "chaos.trace.json").read_text())
+    counter_rows = [
+        e for e in trace["traceEvents"] if e.get("ph") == "C"
+    ]
+    failures += _check(
+        bool(counter_rows),
+        f"Chrome trace carries {len(counter_rows)} counter samples",
+    )
+
+    base = {
+        "name": "smoke",
+        "rows": [{"variant": "push", "seconds": 10.0}],
+        "sim_time_s": 10.0,
+        "counters": {},
+        "fingerprint": {"bench": "smoke", "sort_scale": 1},
+    }
+    slowed = dict(base, rows=[{"variant": "push", "seconds": 13.0}],
+                  sim_time_s=13.0)
+    report = compare_benches(base, slowed)
+    try:
+        compare_benches(
+            base,
+            dict(base, fingerprint={"bench": "smoke", "sort_scale": 2}),
+        )
+        refused = False
+    except BenchMismatchError:
+        refused = True
+    failures += _check(
+        not report.ok and refused,
+        "diff flags a 30% slowdown and refuses mismatched configs",
+    )
+    return failures
+
+
 def _smoke_reporter(seed: int, out_dir: Path) -> int:
     """The reporter must render every section from a recorded run."""
     rendered = RunReport.load(str(out_dir / "chaos.events.jsonl")).render()
@@ -186,11 +266,190 @@ def _smoke_reporter(seed: int, out_dir: Path) -> int:
     )
 
 
+def _load_events(path: str):
+    from repro.obs.events import EventBus
+
+    return EventBus.load_jsonl(path)
+
+
+def _cmd_critpath(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs critpath",
+        description="Critical-path extraction and bottleneck attribution.",
+    )
+    parser.add_argument("trace", help="a record_run() JSONL file")
+    parser.add_argument(
+        "--top", type=int, default=8, help="longest segments to print"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+    args = parser.parse_args(argv)
+    from repro.obs.perf import critical_path
+
+    path = critical_path(_load_events(args.trace))
+    if args.json:
+        print(json.dumps(path.to_dict(), indent=2))
+    else:
+        print(path.render(top_k=args.top))
+    return 0
+
+
+def _cmd_usage(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs usage",
+        description="Per-node utilization and binding-resource timeline.",
+    )
+    parser.add_argument("trace", help="a record_run() JSONL file")
+    parser.add_argument(
+        "--bins", type=int, default=24, help="timeline slices to label"
+    )
+    args = parser.parse_args(argv)
+    from repro.obs.perf import derive_usage
+
+    print(derive_usage(_load_events(args.trace)).render(bins=args.bins))
+    return 0
+
+
+def _default_baseline_dir() -> Path:
+    return Path("benchmarks") / "baselines"
+
+
+def _gate_pairs(baselines: Path, results: Path):
+    """(baseline, candidate) path pairs for every committed baseline."""
+    for base_path in sorted(baselines.glob("BENCH_*.json")):
+        yield base_path, results / base_path.name
+
+
+def _cmd_diff(argv) -> int:
+    from repro.obs.perf.diff import (
+        DEFAULT_REL_TOLERANCE,
+        BenchMismatchError,
+        compare_files,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs diff",
+        description="Compare benchmark results within tolerance bands; "
+        "refuses mismatched configs, attributes regressions to "
+        "critical-path categories.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="BASELINE CANDIDATE result files (omit with --gate)",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="CI mode: check every committed baseline against the "
+        "matching fresh result; nonzero exit on any regression",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=str(_default_baseline_dir()),
+        help="committed baseline directory (gate mode)",
+    )
+    parser.add_argument(
+        "--results",
+        default=".",
+        help="directory holding fresh BENCH_*.json files (gate mode)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help=f"relative tolerance band (default {DEFAULT_REL_TOLERANCE:.2f})",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print reports as JSON"
+    )
+    args = parser.parse_args(argv)
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_REL_TOLERANCE
+    )
+    if args.gate:
+        pairs = list(_gate_pairs(Path(args.baselines), Path(args.results)))
+        if not pairs:
+            print(f"no baselines found under {args.baselines}")
+            return 2
+    elif len(args.files) == 2:
+        pairs = [(Path(args.files[0]), Path(args.files[1]))]
+    else:
+        parser.error("expected BASELINE CANDIDATE files, or --gate")
+        return 2
+
+    failures = 0
+    for base_path, cand_path in pairs:
+        print(f"== {base_path} vs {cand_path}")
+        if not cand_path.exists():
+            print(f"FAIL candidate result missing: {cand_path}")
+            failures += 1
+            continue
+        try:
+            report = compare_files(
+                str(base_path), str(cand_path), rel_tolerance=tolerance
+            )
+        except BenchMismatchError as exc:
+            print(f"FAIL {exc}")
+            failures += 1
+            continue
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        if not report.ok:
+            failures += 1
+    print(
+        "perf gate passed"
+        if not failures
+        else f"perf gate: {failures} comparison(s) failed"
+    )
+    return 1 if failures else 0
+
+
+def _cmd_bless(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs bless",
+        description="Refresh committed baselines from fresh BENCH_*.json "
+        "results (volatile host-dependent fields stripped).",
+    )
+    parser.add_argument("results", nargs="+", help="BENCH_*.json files")
+    parser.add_argument(
+        "--baselines",
+        default=str(_default_baseline_dir()),
+        help="baseline directory to write into",
+    )
+    args = parser.parse_args(argv)
+    from repro.obs.perf.diff import load_bench, strip_volatile
+
+    out_dir = Path(args.baselines)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for result in args.results:
+        payload = strip_volatile(load_bench(result))
+        target = out_dir / f"BENCH_{payload['name']}.json"
+        target.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        print(f"blessed {result} -> {target}")
+    return 0
+
+
+_SUBCOMMANDS = {
+    "critpath": _cmd_critpath,
+    "usage": _cmd_usage,
+    "diff": _cmd_diff,
+    "bless": _cmd_bless,
+}
+
+
 def main(argv=None) -> int:
-    """Parse arguments and run report or smoke mode."""
+    """Dispatch to a perf subcommand, report mode, or smoke mode."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Observability-plane run reporter and smoke runner.",
+        description="Observability-plane run reporter and smoke runner. "
+        "Subcommands: critpath, usage, diff, bless.",
     )
     parser.add_argument(
         "trace",
@@ -214,6 +473,7 @@ def main(argv=None) -> int:
             failures = _smoke_causality(args.seed, out_dir)
             failures += _smoke_spill_accounting(args.seed, out_dir)
             failures += _smoke_reporter(args.seed, out_dir)
+            failures += _smoke_perf(args.seed, out_dir)
         print(
             "obs smoke passed"
             if not failures
@@ -222,7 +482,16 @@ def main(argv=None) -> int:
         return 1 if failures else 0
     if args.trace:
         try:
-            print(RunReport.load(args.trace).render(top_k=args.top))
+            events = _load_events(args.trace)
+            print(RunReport(events).render(top_k=args.top))
+            from repro.obs.perf import critical_path, derive_usage
+
+            path = critical_path(events)
+            if path.segments:
+                print()
+                print(path.render(top_k=0))
+                print()
+                print(derive_usage(events).node_table().render())
         except BrokenPipeError:  # e.g. piped into `head`
             pass
         return 0
@@ -231,4 +500,8 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -48,6 +48,9 @@ EVENT_KINDS: Dict[str, str] = {
     "spill.restore.end": "the restore completed (cause: its begin)",
     "spill.fallback": "allocation fell back to the filesystem (attrs: bytes)",
     "store.pressure": "an allocation parked in the store queue (attrs: bytes)",
+    # direct disk I/O (output_to_disk task outputs; not spill traffic)
+    "disk.write.begin": "a direct output write to disk started (attrs: bytes)",
+    "disk.write.end": "the output write completed (cause: its begin)",
     # nodes, executors, drivers
     "node.death": "a node died (cause: the chaos fault, when injected)",
     "node.restart": "a crashed node came back",

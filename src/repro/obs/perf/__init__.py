@@ -1,0 +1,63 @@
+"""Performance analysis on top of the observability plane.
+
+The event bus (PR 3) records *what happened*; this package explains
+*where the time went* and *whether a change made things slower* -- the
+three questions the paper's comparative claims rest on (Figs. 4, 7;
+§5: Exoshuffle matches monolithic shuffles because specific resources
+stop being the binding constraint):
+
+- :mod:`repro.obs.perf.critpath` -- reconstructs the weighted
+  task/transfer/spill DAG from the derived spans, extracts the critical
+  path, attributes its time to categories (compute, queue wait,
+  transfer, spill write/restore, direct disk writes, fault recovery),
+  and computes what-if estimates ("if spilling were free the run
+  shrinks N%") in the NSDI'15 blocked-time-analysis tradition;
+- :mod:`repro.obs.perf.usage` -- per-node busy timelines for CPU
+  slots, disk, NIC, and object-store occupancy, sliced into intervals
+  labeled with their *binding resource*, exported as Chrome-trace
+  counter tracks next to the span lanes;
+- :mod:`repro.obs.perf.diff` -- baseline/regression diffing of
+  ``BENCH_*.json`` result files with per-metric tolerance bands,
+  config-fingerprint refusal, and critical-path attribution of any
+  regression (the CI perf gate behind ``python -m repro.obs diff``).
+
+See ``docs/perf.md`` for the methodology and its caveats.
+"""
+
+from repro.obs.perf.critpath import (
+    CATEGORIES,
+    DISK_CATEGORIES,
+    CriticalPath,
+    PathSegment,
+    critical_path,
+)
+from repro.obs.perf.diff import (
+    BenchMismatchError,
+    DiffReport,
+    MetricDiff,
+    compare_benches,
+    load_bench,
+)
+from repro.obs.perf.usage import (
+    UsageInterval,
+    UsageTimeline,
+    derive_usage,
+    usage_chrome_events,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "DISK_CATEGORIES",
+    "CriticalPath",
+    "PathSegment",
+    "critical_path",
+    "UsageInterval",
+    "UsageTimeline",
+    "derive_usage",
+    "usage_chrome_events",
+    "BenchMismatchError",
+    "DiffReport",
+    "MetricDiff",
+    "compare_benches",
+    "load_bench",
+]

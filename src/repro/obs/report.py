@@ -46,6 +46,7 @@ def record_run(runtime: Any, path: str) -> int:
             "stats": runtime.stats(),
             "job_stats": runtime.job_stats(),
             "metrics": runtime.metrics.snapshot(),
+            "cluster": runtime.cluster_snapshot(),
         },
     )
     return bus.to_jsonl(path, extra=[summary])
@@ -76,10 +77,19 @@ class RunReport:
         return [s for s in self.spans if s.cat == "task"]
 
     def phase_table(self) -> ResultTable:
-        """Per task function: count, makespan, busy core-s, mean wait."""
+        """Per task function: count, makespan, busy core-s, mean waits.
+
+        ``mean_queue_s`` is the submit-to-run delay of the task itself;
+        ``admission_s`` is the owning job's admission wait (its
+        ``job.submit`` -> ``job.admit`` span), averaged over the
+        phase's tasks -- zero for tasks outside the job control plane.
+        """
         grouped: Dict[str, List[Span]] = defaultdict(list)
         for span in self.task_spans():
             grouped[span.name].append(span)
+        admission = {
+            s.job: s.duration for s in self.spans if s.cat == "job.wait"
+        }
         table = ResultTable(
             "Phase breakdown",
             [
@@ -89,11 +99,13 @@ class RunReport:
                 "last_end",
                 "busy_core_s",
                 "mean_queue_s",
+                "admission_s",
             ],
         )
         for name in sorted(grouped):
             spans = grouped[name]
             waits = [s.attrs.get("queue_delay", 0.0) for s in spans]
+            admissions = [admission.get(s.job, 0.0) for s in spans]
             table.add_row(
                 phase=name,
                 tasks=len(spans),
@@ -101,6 +113,7 @@ class RunReport:
                 last_end=max(s.end for s in spans),
                 busy_core_s=sum(s.duration for s in spans),
                 mean_queue_s=sum(waits) / len(waits),
+                admission_s=sum(admissions) / len(admissions),
             )
         return table
 

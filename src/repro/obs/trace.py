@@ -49,6 +49,7 @@ _PAIRED_KINDS = {
     "transfer.begin": ("transfer.end", "transfer"),
     "spill.write.begin": ("spill.write.end", "spill"),
     "spill.restore.begin": ("spill.restore.end", "spill"),
+    "disk.write.begin": ("disk.write.end", "disk"),
 }
 
 
@@ -275,6 +276,20 @@ def _pack_lanes(spans: List[Span]) -> List[int]:
     return lanes
 
 
+def node_pids(
+    events: Sequence[ObsEvent], spans: Optional[List[Span]] = None
+) -> Dict[str, int]:
+    """The stable node -> Chrome process id mapping used by every
+    exporter (spans, instants, and the perf layer's counter tracks)."""
+    if spans is None:
+        spans = derive_spans(events)
+    nodes = sorted(
+        {s.node for s in spans if s.node is not None}
+        | {e.node for e in events if e.kind in _INSTANT_KINDS and e.node}
+    )
+    return {node: pid for pid, node in enumerate(nodes)}
+
+
 def span_chrome_events(
     events: Sequence[ObsEvent], spans: Optional[List[Span]] = None
 ) -> List[Dict[str, Any]]:
@@ -282,11 +297,8 @@ def span_chrome_events(
     if spans is None:
         spans = derive_spans(events)
     index = {e.seq: e for e in events}
-    nodes = sorted(
-        {s.node for s in spans if s.node is not None}
-        | {e.node for e in events if e.kind in _INSTANT_KINDS and e.node}
-    )
-    pid_of = {node: pid for pid, node in enumerate(nodes)}
+    pid_of = node_pids(events, spans)
+    nodes = sorted(pid_of)
     jobs_pid = len(nodes)
     out: List[Dict[str, Any]] = []
     for node, pid in pid_of.items():
@@ -392,10 +404,23 @@ def _chain(event: ObsEvent, index: Dict[int, ObsEvent]) -> List[ObsEvent]:
     return chain
 
 
-def write_chrome_trace(events: Sequence[ObsEvent], path: str) -> int:
+def write_chrome_trace(
+    events: Sequence[ObsEvent], path: str, counters: bool = True
+) -> int:
     """Write the Chrome trace JSON for an event stream; returns the
-    number of complete ("X") events written."""
+    number of complete ("X") events written.
+
+    With ``counters`` (the default), the perf layer's utilization
+    counter tracks ("ph": "C": busy CPU slots, disk/NIC activity,
+    object-store occupancy, spill-queue depth) ride along next to the
+    span lanes, so Perfetto shows memory pressure against the tasks
+    that caused it.
+    """
     chrome = span_chrome_events(events)
+    if counters:
+        from repro.obs.perf.usage import usage_chrome_events
+
+        chrome = chrome + usage_chrome_events(events)
     Path(path).write_text(json.dumps({"traceEvents": chrome}))
     return sum(1 for e in chrome if e.get("ph") == "X")
 
