@@ -1,9 +1,12 @@
 """Ablation: locality-aware scheduling and soft node affinity (§4.3.2).
 
 The push shuffle pins merge tasks per worker and relies on locality for
-the reduce stage.  Turning both off makes the scheduler place purely by
-load: merged blocks end up remote from their reducers and extra bytes
-cross the network, slowing the job.
+the reduce stage.  Each arm is a named placement policy from the
+``repro.futures.policies`` registry -- ``"default"`` composes the
+blacklist / affinity / locality / least-loaded stages, ``"load-only"``
+places purely by load -- so no per-arm branching reaches the data
+plane.  Under load-only placement, merged blocks end up remote from
+their reducers and extra bytes cross the network, slowing the job.
 """
 
 import pytest
@@ -16,11 +19,15 @@ from benchmarks._harness import SCALED_TB, hdd_node, finish_bench, run_es_sort
 NUM_NODES = 10
 PARTITIONS = 200
 
+#: (table label, placement-policy registry name) per ablation arm.
+ARMS = [
+    ("locality+affinity", "default"),
+    ("load-only", "load-only"),
+]
 
-def _run_once(locality: bool):
-    config = RuntimeConfig(
-        enable_locality_scheduling=locality, enable_node_affinity=locality
-    )
+
+def _run_once(placement_policy: str):
+    config = RuntimeConfig(placement_policy=placement_policy)
     result, rt = run_es_sort(
         hdd_node(), NUM_NODES, "push*", PARTITIONS, SCALED_TB,
         runtime_config=config,
@@ -33,10 +40,10 @@ def _run_figure():
         "Ablation: locality + affinity scheduling (push*, 200 partitions)",
         ["scheduling", "seconds", "network_gb"],
     )
-    for locality in (True, False):
-        seconds, net = _run_once(locality)
+    for label, policy in ARMS:
+        seconds, net = _run_once(policy)
         table.add_row(
-            scheduling="locality+affinity" if locality else "load-only",
+            scheduling=label,
             seconds=seconds,
             network_gb=net / 1e9,
         )

@@ -22,6 +22,13 @@ Public surface::
 from repro.futures.actor import ActorClass, ActorHandle
 from repro.futures.config import RuntimeConfig
 from repro.futures.driver import DriverHandle
+from repro.futures.lineage import LineageManager
+from repro.futures.policies import (
+    POLICY_KINDS,
+    available_policies,
+    create_policy,
+    register_policy,
+)
 from repro.futures.refs import ObjectRef
 from repro.futures.remote import RemoteFunction
 from repro.futures.retry import RetryPolicy
@@ -43,5 +50,10 @@ __all__ = [
     "DriverHandle",
     "Scheduler",
     "FairShareScheduler",
+    "LineageManager",
     "UNATTRIBUTED_JOB",
+    "POLICY_KINDS",
+    "register_policy",
+    "create_policy",
+    "available_policies",
 ]

@@ -88,6 +88,31 @@ class RuntimeConfig:
     #: not keep swallowing work.  0 disables blacklisting.
     blacklist_cooldown_s: float = 0.0
 
+    # -- policy plane -------------------------------------------------------
+    #: Registry name of the placement policy (``repro.futures.policies``).
+    #: The built-in ``"default"`` composes blacklist / affinity / locality
+    #: / least-loaded stages honouring the enable_* flags above; the
+    #: ablation arms select ``"load-only"`` or ``"random"`` here.
+    placement_policy: str = "default"
+
+    #: Registry name of the store memory policy (cached-copy eviction
+    #: order and allocation-queue admission).
+    memory_policy: str = "default"
+
+    #: Registry name of the spill policy (victim selection, target
+    #: sizing, write fusing).  ``"unfused"`` forces one file per object
+    #: regardless of ``enable_write_fusing``.
+    spill_policy: str = "default"
+
+    #: Registry name of the dispatch policy.  ``"fifo"`` launches tasks
+    #: as they become ready; ``"fair-share"`` runs weighted virtual-time
+    #: queueing (normally installed by the jobs control plane instead).
+    dispatch_policy: str = "fifo"
+
+    #: Concurrent task slots per alive core granted by slot-limited
+    #: dispatch policies (fair sharing).
+    fair_share_slots_per_core: float = 1.0
+
     # -- misc -----------------------------------------------------------------
     #: Root seed for any stochastic runtime behaviour (tie-breaking).
     seed: int = 0
@@ -107,3 +132,13 @@ class RuntimeConfig:
             raise ValueError("failure detection delay must be non-negative")
         if self.blacklist_cooldown_s < 0:
             raise ValueError("blacklist cooldown must be non-negative")
+        for kind_field in (
+            "placement_policy",
+            "memory_policy",
+            "spill_policy",
+            "dispatch_policy",
+        ):
+            if not getattr(self, kind_field):
+                raise ValueError(f"{kind_field} must be a non-empty name")
+        if self.fair_share_slots_per_core <= 0:
+            raise ValueError("fair_share_slots_per_core must be positive")

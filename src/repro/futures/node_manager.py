@@ -62,6 +62,7 @@ class NodeManager:
             on_pressure=self._on_pressure,
             on_evict_cached=self._on_evict_cached,
             bus=runtime.bus,
+            policy=runtime.policies.memory,
         )
         self.spill = SpillManager(
             node,
@@ -71,6 +72,7 @@ class NodeManager:
             runtime.counters,
             charge=runtime.charge_object,
             bus=runtime.bus,
+            policy=runtime.policies.spill,
         )
         self.pending_tasks = 0
         self._fetch_sem = Resource(
@@ -130,8 +132,7 @@ class NodeManager:
             "executor.failure", node=self.node_id, casualties=len(casualties)
         )
         cause = failure.seq if failure is not None else None
-        if cause is not None:
-            self.runtime._last_fault_event[self.node_id] = cause
+        self.runtime.lineage.note_node_fault_event(self.node_id, cause)
 
         def requeue() -> None:
             # Runs after the interrupts have been delivered, so the dying

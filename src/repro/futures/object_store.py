@@ -20,6 +20,12 @@ from collections import OrderedDict, deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.common.ids import NodeId, ObjectId
+from repro.futures.policies.base import (
+    AllocationView,
+    CachedCopyView,
+    MemoryPolicy,
+)
+from repro.futures.policies.defaults import InsertionOrderMemoryPolicy
 from repro.simcore import Environment, Event
 
 
@@ -63,11 +69,15 @@ class ObjectStore:
         on_pressure: Optional[Callable[[], None]] = None,
         on_evict_cached: Optional[Callable[[ObjectId], None]] = None,
         bus: Optional[object] = None,
+        policy: Optional[MemoryPolicy] = None,
     ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("store capacity must be positive")
         self.env = env
         self.node_id = node_id
+        #: The admission/eviction policy (insertion-order FIFO when not
+        #: overridden, matching Ray's creation-order behaviour).
+        self.policy: MemoryPolicy = policy or InsertionOrderMemoryPolicy()
         #: Optional structured event bus (:class:`repro.obs.EventBus`);
         #: parked allocations publish ``store.pressure`` events into it.
         self.bus = bus
@@ -181,7 +191,9 @@ class ObjectStore:
 
     def _try_grant(self, request: AllocationRequest) -> bool:
         if request.size > self.capacity - self.used_bytes:
-            self._evict_cached(request.size - (self.capacity - self.used_bytes))
+            self._evict_cached(
+                request.size - (self.capacity - self.used_bytes), request
+            )
         if request.size > self.capacity - self.used_bytes:
             return False
         self._admit(request)
@@ -197,31 +209,74 @@ class ObjectStore:
             self.pinned_bytes += request.size
         request.event.succeed("memory")
 
-    def _evict_cached(self, needed: int) -> int:
-        """Drop unpinned cached copies until ``needed`` bytes are freed."""
+    def _evict_cached(
+        self, needed: int, request: Optional[AllocationRequest] = None
+    ) -> int:
+        """Drop unpinned cached copies until ``needed`` bytes are freed.
+
+        The memory policy orders the victims; the default drops oldest
+        (insertion order) first.
+        """
         freed = 0
-        victims = [
-            oid
+        cached = [
+            CachedCopyView(object_id=oid, size=entry.size)
             for oid, entry in self._entries.items()
             if not entry.primary and entry.pins == 0
         ]
-        for oid in victims:
+        if not cached:
+            return 0
+        view = (
+            AllocationView(
+                object_id=request.object_id,
+                size=request.size,
+                primary=request.primary,
+            )
+            if request is not None
+            else None
+        )
+        for victim in self.policy.eviction_order(view, cached):
             if freed >= needed:
                 break
-            entry = self._entries.pop(oid)
+            entry = self._entries.pop(victim.object_id, None)
+            if entry is None or entry.primary or entry.pins > 0:
+                continue  # policy returned something no longer evictable
             self.used_bytes -= entry.size
             freed += entry.size
             self.cached_evictions += 1
-            self._on_evict_cached(oid)
+            self._on_evict_cached(victim.object_id)
         return freed
 
     def pump(self) -> None:
-        """Grant queued requests that now fit (called after memory frees)."""
-        while self._queue:
-            request = self._queue[0]
-            if not self._try_grant(request):
-                break
-            self._queue.popleft()
+        """Grant queued requests that now fit (called after memory frees).
+
+        The memory policy picks which queued request is considered next;
+        the default (``strict_fifo``) always services the queue head, so
+        a request that does not fit blocks everything behind it -- the
+        head-of-line behaviour Ray's store exhibits.
+        """
+        if getattr(self.policy, "strict_fifo", True):
+            while self._queue:
+                request = self._queue[0]
+                if not self._try_grant(request):
+                    break
+                self._queue.popleft()
+        else:
+            while self._queue:
+                views = [
+                    AllocationView(
+                        object_id=req.object_id,
+                        size=req.size,
+                        primary=req.primary,
+                    )
+                    for req in self._queue
+                ]
+                index = self.policy.next_grant(views)
+                if not 0 <= index < len(self._queue):
+                    index = 0
+                request = self._queue[index]
+                if not self._try_grant(request):
+                    break
+                del self._queue[index]
         if self._queue:
             self._on_pressure()
 
@@ -263,6 +318,20 @@ class ObjectStore:
             self.pinned_bytes -= entry.size
         self.pump()
         return True
+
+    def spillable_entries(self) -> List[Tuple[ObjectId, int]]:
+        """Every unpinned primary entry as ``(object_id, size)``, in
+        insertion (creation) order.
+
+        This is the raw candidate list handed to the node's
+        :class:`~repro.futures.policies.SpillPolicy`; the policy applies
+        target sizing, consumer protection, and batching on top.
+        """
+        return [
+            (oid, entry.size)
+            for oid, entry in self._entries.items()
+            if entry.primary and entry.pins == 0
+        ]
 
     def spill_candidates(
         self,

@@ -1,0 +1,94 @@
+"""Pluggable data-plane policies (the Exoshuffle thesis, applied inward).
+
+Placement, memory admission/eviction, spill batching, and dispatch
+ordering are typed :class:`~typing.Protocol` seams with string-keyed
+registry entries selected through ``RuntimeConfig``:
+
+- :class:`PlacementPolicy` -- blacklist / affinity / locality / load as
+  composable stages (:class:`StagedPlacementPolicy`);
+- :class:`MemoryPolicy` -- cached-copy eviction order and allocation
+  queue admission;
+- :class:`SpillPolicy` -- victim selection, target sizing, write fusing;
+- :class:`DispatchPolicy` -- FIFO vs weighted virtual-time fair sharing.
+
+This package is pure by construction: it imports only task/ref/id value
+types (enforced by ``tools/check_layering.py``), so policies can be
+unit-tested without a runtime and cannot re-tangle with the mechanism
+layers.  See ``docs/data_plane.md`` ("Policy plane") for the interface
+table and how to add a policy.
+"""
+
+from repro.futures.policies.base import (
+    AllocationView,
+    CachedCopyView,
+    DispatchContext,
+    DispatchOutcome,
+    DispatchPolicy,
+    MemoryPolicy,
+    NodeCandidate,
+    ParkNote,
+    PlacementDecision,
+    PlacementPolicy,
+    PlacementRequest,
+    PlacementStage,
+    SpillCandidate,
+    SpillPolicy,
+)
+from repro.futures.policies.defaults import (
+    AffinityStage,
+    BlacklistStage,
+    FairShareDispatchPolicy,
+    FifoDispatchPolicy,
+    FusedSpillPolicy,
+    InsertionOrderMemoryPolicy,
+    LeastLoadedStage,
+    LocalityStage,
+    NewestFirstMemoryPolicy,
+    RandomStage,
+    StagedPlacementPolicy,
+)
+from repro.futures.policies.registry import (
+    POLICY_KINDS,
+    PolicyStack,
+    available_policies,
+    create_policy,
+    register_policy,
+    resolve_policies,
+)
+
+__all__ = [
+    # protocols & views
+    "PlacementPolicy",
+    "PlacementStage",
+    "PlacementRequest",
+    "PlacementDecision",
+    "NodeCandidate",
+    "MemoryPolicy",
+    "AllocationView",
+    "CachedCopyView",
+    "SpillPolicy",
+    "SpillCandidate",
+    "DispatchPolicy",
+    "DispatchContext",
+    "DispatchOutcome",
+    "ParkNote",
+    # defaults
+    "StagedPlacementPolicy",
+    "BlacklistStage",
+    "AffinityStage",
+    "LocalityStage",
+    "LeastLoadedStage",
+    "RandomStage",
+    "InsertionOrderMemoryPolicy",
+    "NewestFirstMemoryPolicy",
+    "FusedSpillPolicy",
+    "FifoDispatchPolicy",
+    "FairShareDispatchPolicy",
+    # registry
+    "POLICY_KINDS",
+    "PolicyStack",
+    "register_policy",
+    "create_policy",
+    "available_policies",
+    "resolve_policies",
+]

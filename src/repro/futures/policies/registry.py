@@ -1,0 +1,172 @@
+"""The string-keyed policy registry and config-driven resolution.
+
+Policies are registered under ``(kind, name)`` where ``kind`` is one of
+:data:`POLICY_KINDS`.  A factory receives the runtime config (duck
+typed -- this package never imports ``RuntimeConfig``) and returns a
+policy instance, so a single name like ``"default"`` can adapt to
+config flags (``enable_node_affinity``, ``enable_write_fusing``, ...).
+
+Usage::
+
+    from repro.futures.policies import register_policy
+
+    register_policy("placement", "my-policy", lambda config: MyPolicy())
+
+    rt = Runtime.create(spec, n, config=RuntimeConfig(
+        placement_policy="my-policy",
+    ))
+
+The ablation benchmarks select arms purely by these names -- no per-arm
+branching reaches the data plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.futures.policies import defaults
+from repro.futures.policies.base import (
+    DispatchPolicy,
+    MemoryPolicy,
+    PlacementPolicy,
+    SpillPolicy,
+)
+
+#: The four pluggable decision points of the data plane.
+POLICY_KINDS: Tuple[str, ...] = ("placement", "memory", "spill", "dispatch")
+
+#: A policy factory: config in (duck typed), policy instance out.
+PolicyFactory = Callable[[Any], Any]
+
+_REGISTRY: Dict[Tuple[str, str], PolicyFactory] = {}
+
+
+def register_policy(kind: str, name: str, factory: PolicyFactory) -> None:
+    """Register (or replace) a named policy factory for ``kind``."""
+    if kind not in POLICY_KINDS:
+        raise ValueError(
+            f"unknown policy kind {kind!r}; expected one of {POLICY_KINDS}"
+        )
+    if not name:
+        raise ValueError("policy name must be non-empty")
+    _REGISTRY[(kind, name)] = factory
+
+
+def available_policies(kind: Optional[str] = None) -> Dict[str, List[str]]:
+    """Registered policy names, keyed by kind (optionally one kind)."""
+    kinds = (kind,) if kind is not None else POLICY_KINDS
+    return {
+        k: sorted(name for (rk, name) in _REGISTRY if rk == k) for k in kinds
+    }
+
+
+def create_policy(kind: str, name: str, config: Any) -> Any:
+    """Instantiate the registered ``(kind, name)`` policy for ``config``."""
+    factory = _REGISTRY.get((kind, name))
+    if factory is None:
+        known = ", ".join(available_policies(kind)[kind]) or "<none>"
+        raise ValueError(
+            f"unknown {kind} policy {name!r}; registered: {known}"
+        )
+    return factory(config)
+
+
+@dataclass
+class PolicyStack:
+    """The resolved policy instances one runtime runs with."""
+
+    placement: PlacementPolicy
+    memory: MemoryPolicy
+    spill: SpillPolicy
+    dispatch: DispatchPolicy
+
+
+def resolve_policies(config: Any) -> PolicyStack:
+    """Build the runtime's policy stack from config-named registry keys.
+
+    Reads ``config.placement_policy`` / ``memory_policy`` /
+    ``spill_policy`` / ``dispatch_policy`` (defaulting each to
+    ``"default"`` / ``"fifo"`` when absent, so bare config objects keep
+    working).
+    """
+    return PolicyStack(
+        placement=create_policy(
+            "placement", getattr(config, "placement_policy", "default"), config
+        ),
+        memory=create_policy(
+            "memory", getattr(config, "memory_policy", "default"), config
+        ),
+        spill=create_policy(
+            "spill", getattr(config, "spill_policy", "default"), config
+        ),
+        dispatch=create_policy(
+            "dispatch", getattr(config, "dispatch_policy", "fifo"), config
+        ),
+    )
+
+
+# -- built-in registrations ---------------------------------------------------
+def _default_placement(config: Any) -> defaults.StagedPlacementPolicy:
+    stages: List[object] = [defaults.BlacklistStage()]
+    if getattr(config, "enable_node_affinity", True):
+        stages.append(defaults.AffinityStage())
+    if getattr(config, "enable_locality_scheduling", True):
+        stages.append(defaults.LocalityStage())
+    stages.append(defaults.LeastLoadedStage())
+    return defaults.StagedPlacementPolicy("default", stages)
+
+
+def _load_only_placement(config: Any) -> defaults.StagedPlacementPolicy:
+    return defaults.StagedPlacementPolicy(
+        "load-only", [defaults.BlacklistStage(), defaults.LeastLoadedStage()]
+    )
+
+
+def _random_placement(config: Any) -> defaults.StagedPlacementPolicy:
+    return defaults.StagedPlacementPolicy(
+        "random",
+        [
+            defaults.BlacklistStage(),
+            defaults.RandomStage(getattr(config, "seed", 0)),
+        ],
+    )
+
+
+def _default_spill(config: Any) -> defaults.FusedSpillPolicy:
+    return defaults.FusedSpillPolicy(
+        fuse_min_bytes=getattr(config, "fuse_min_bytes", 100 * 1024 * 1024),
+        fused=getattr(config, "enable_write_fusing", True),
+        name="default",
+    )
+
+
+def _unfused_spill(config: Any) -> defaults.FusedSpillPolicy:
+    return defaults.FusedSpillPolicy(
+        fuse_min_bytes=getattr(config, "fuse_min_bytes", 100 * 1024 * 1024),
+        fused=False,
+        name="unfused",
+    )
+
+
+def _fair_share_dispatch(config: Any) -> defaults.FairShareDispatchPolicy:
+    return defaults.FairShareDispatchPolicy(
+        slots_per_core=getattr(config, "fair_share_slots_per_core", 1.0)
+    )
+
+
+register_policy("placement", "default", _default_placement)
+register_policy("placement", "load-only", _load_only_placement)
+register_policy("placement", "random", _random_placement)
+register_policy(
+    "memory", "default", lambda config: defaults.InsertionOrderMemoryPolicy()
+)
+register_policy(
+    "memory", "newest-first", lambda config: defaults.NewestFirstMemoryPolicy()
+)
+register_policy("spill", "default", _default_spill)
+register_policy("spill", "unfused", _unfused_spill)
+register_policy(
+    "dispatch", "fifo", lambda config: defaults.FifoDispatchPolicy()
+)
+register_policy("dispatch", "fair-share", _fair_share_dispatch)

@@ -33,18 +33,15 @@ from typing import (
 )
 
 from repro.cluster.fabric import Cluster
-from repro.cluster.node import Node
 from repro.cluster.specs import ClusterSpec, NodeSpec
-from repro.common.errors import (
-    ObjectLostError,
-    RetryExhaustedError,
-    TaskDeadlineError,
-)
+from repro.common.errors import ObjectLostError
 from repro.common.ids import IdGenerator, NodeId, ObjectId, TaskId
 from repro.futures.config import RuntimeConfig
 from repro.futures.directory import ObjectDirectory
 from repro.futures.driver import DriverHandle, DriverHost
+from repro.futures.lineage import LineageManager
 from repro.futures.node_manager import NodeManager
+from repro.futures.policies.registry import PolicyStack, resolve_policies
 from repro.futures.refs import ObjectRef, make_ref
 from repro.futures.remote import RemoteFunction
 from repro.futures.scheduler import Scheduler
@@ -93,13 +90,13 @@ class Runtime:
         #: Dimensioned metrics (per-node / per-job counters, gauges,
         #: histograms) fed alongside the flat ``counters``.
         self.metrics = MetricRegistry()
-        #: Chaos causality plumbing: fault event seqs noted by the
-        #: injector before it kills a node / loses an object, consumed
-        #: when the death or reconstruction is observed so retry events
-        #: link back to the fault that caused them.
-        self._fault_causes: Dict[NodeId, int] = {}
-        self._object_fault_causes: Dict[ObjectId, int] = {}
-        self._last_fault_event: Dict[NodeId, int] = {}
+        #: The resolved policy stack (placement, memory, spill, dispatch)
+        #: named by the config and instantiated from the registry; the
+        #: scheduler and every node manager consult it.
+        self.policies: PolicyStack = resolve_policies(self.config)
+        #: Fault tolerance: node-death handling, retry pacing, and
+        #: lineage reconstruction (§4.2.3) live here.
+        self.lineage = LineageManager(self)
         #: Per-job counter buckets keyed by job id (multi-tenant control
         #: plane); every charge path adds to both the global counters and
         #: the owning job's bucket, so bucket sums equal the global value
@@ -118,7 +115,7 @@ class Runtime:
         for node in cluster:
             manager = NodeManager(self, node)
             self.node_managers[node.node_id] = manager
-            node.on_death(self._on_node_death)
+            node.on_death(self.lineage.on_node_death)
         self.scheduler = Scheduler(self)
         self.driver_node_id: NodeId = cluster.node_ids[0]
         self._driver = DriverHost(self.env, bus=self.bus)
@@ -413,41 +410,16 @@ class Runtime:
         if not self.directory.is_available(object_id):
             self.payloads.pop(object_id, None)
 
-    # -- fault tolerance -----------------------------------------------------
+    # -- fault tolerance (delegated to the LineageManager) --------------------
     def note_fault_cause(self, node_id: NodeId, seq: Optional[int]) -> None:
         """Record the event seq of a fault about to kill ``node_id`` so
         the ensuing ``node.death`` links back to it (chaos injector)."""
-        if seq is not None:
-            self._fault_causes[node_id] = seq
+        self.lineage.note_fault_cause(node_id, seq)
 
     def note_object_fault(self, object_id: ObjectId, seq: Optional[int]) -> None:
         """Record the fault seq behind an object loss so the eventual
         reconstruction retry links back to it (chaos injector)."""
-        if seq is not None:
-            self._object_fault_causes[object_id] = seq
-
-    def _on_node_death(self, node: Node) -> None:
-        manager = self.node_managers[node.node_id]
-        casualties = manager.kill()
-        lost_objects = self.directory_objects_on(node.node_id)
-        self.counters.add("node_failures", 1)
-        death = self.bus.emit(
-            "node.death",
-            node=node.node_id,
-            cause=self._fault_causes.pop(node.node_id, None),
-            casualties=len(casualties),
-            lost_objects=len(lost_objects),
-        )
-        death_seq = death.seq if death is not None else None
-        if death_seq is not None:
-            self._last_fault_event[node.node_id] = death_seq
-        self.scheduler.note_failure(node.node_id)
-        self.env.call_later(
-            self.config.failure_detection_s,
-            lambda: self._after_failure_detected(
-                node, casualties, lost_objects, death_seq
-            ),
-        )
+        self.lineage.note_object_fault(object_id, seq)
 
     def directory_objects_on(self, node_id: NodeId) -> List[ObjectId]:
         """Objects the directory currently places (in any form) on a node."""
@@ -460,135 +432,19 @@ class Runtime:
                 found.append(oid)
         return found
 
-    def _after_failure_detected(
-        self,
-        node: Node,
-        casualties: List[TaskRecord],
-        lost_objects: List[ObjectId],
-        cause: Optional[int] = None,
-    ) -> None:
-        """Heartbeat timeout elapsed: clean metadata and re-execute."""
-        for oid in lost_objects:
-            self.directory.remove_memory_location(oid, node.node_id)
-            self.directory.remove_spill_location(oid, node.node_id)
-            self.maybe_drop_payload(oid)
-        for record in casualties:
-            if record.phase in (TaskPhase.FINISHED, TaskPhase.FAILED):
-                continue
-            self._resubmit(record, cause=cause)
-
     def resubmit_task(
         self, record: TaskRecord, cause: Optional[int] = None
     ) -> None:
         """Public entry for re-executing an interrupted task (used by
         executor-failure handling; node failures go through the
         detection path).  ``cause`` is the triggering fault's event seq."""
-        self._resubmit(record, cause=cause)
-
-    def _resubmit(self, record: TaskRecord, cause: Optional[int] = None) -> None:
-        """Re-execute a task (lineage reconstruction, §4.2.3).
-
-        The configured :class:`~repro.futures.retry.RetryPolicy` governs
-        the re-execution: a task past its attempt budget or per-task
-        deadline fails permanently with a typed error, and retries may be
-        delayed by deterministic exponential backoff.
-        """
-        spec = record.spec
-        policy = self.config.retry_policy
-        if not policy.should_retry(spec.attempts):
-            self.task_failed(
-                record, RetryExhaustedError(spec.task_id, spec.attempts)
-            )
-            return
-        if policy.deadline_exceeded(record.submitted_at, self.env.now):
-            self.task_failed(
-                record, TaskDeadlineError(spec.task_id, policy.task_deadline_s)
-            )
-            return
-        self.charge_task(spec.options, "tasks_resubmitted", 1)
-        if cause is None and record.assigned_node is not None:
-            cause = self._last_fault_event.get(record.assigned_node)
-        self.bus.emit(
-            "task.retry",
-            task=spec.task_id,
-            job=spec.options.job_id,
-            node=record.assigned_node,
-            cause=cause,
-            attempt=spec.attempts + 1,
-        )
-        for oid in spec.return_ids:
-            dep_record = self.directory.maybe_get(oid)
-            if dep_record is not None and not dep_record.available:
-                self.directory.mark_uncreated(oid)
-        held: List[ObjectRef] = []
-        for dep in dict.fromkeys(spec.dependency_ids):
-            if dep not in self.directory:
-                self.directory.register(dep, creator=self._object_creator.get(dep))
-            held.append(make_ref(self, dep))
-            if not self.directory.is_available(dep):
-                # Recursively arrange for the dependency to exist again.
-                self.ensure_available(dep)
-        stale, record.held_refs = record.held_refs, held
-        for ref in stale:
-            # A record interrupted mid-run still holds the previous
-            # attempt's argument refs; release them or the arguments'
-            # refcounts stay inflated forever.
-            ref.release()
-        delay = policy.backoff_s(max(1, spec.attempts), task_key=spec.task_id.index)
-        if delay > 0:
-            # Claim the record now so racing consumers observing a
-            # FINISHED/FAILED phase cannot double-resubmit it during the
-            # backoff window.
-            record.phase = TaskPhase.WAITING_DEPS
-            self.counters.add("retry_backoff_s", delay)
-            self.env.call_later(delay, lambda: self._schedule_when_ready(record))
-        else:
-            self._schedule_when_ready(record)
+        self.lineage.resubmit(record, cause=cause)
 
     def ensure_available(self, object_id: ObjectId) -> Event:
-        """An event that fires once the object has a live copy somewhere.
-
-        Triggers lineage reconstruction for lost objects.  Fails with
-        :class:`ObjectLostError` when reconstruction is impossible
-        (``put()`` objects, truncated lineage, reconstruction disabled) or
-        with the creating task's error if it failed.
-        """
-        event = self.env.event()
-        record = self.directory.maybe_get(object_id)
-        if record is None:
-            return event.fail(ObjectLostError(object_id, "freed"))
-        if record.error is not None:
-            return event.fail(record.error)
-        if record.available:
-            return event.succeed()
-        creator_id = record.creator
-        creator = self.tasks.get(creator_id) if creator_id is not None else None
-        if creator is None:
-            # put() objects and truncated lineage are unrecoverable.
-            return event.fail(ObjectLostError(object_id, "no creating task"))
-        if creator.phase in (TaskPhase.FINISHED, TaskPhase.FAILED):
-            # The creator ran to completion but no copy survives -- either
-            # the object was lost to a failure, or its record was dropped
-            # (freed) and has been re-registered by a recovering consumer.
-            # Either way the creator must run again.
-            if not self.config.enable_lineage_reconstruction:
-                return event.fail(ObjectLostError(object_id, "unreconstructable"))
-            self.directory.mark_uncreated(object_id)
-            self._resubmit(
-                creator, cause=self._object_fault_causes.pop(object_id, None)
-            )
-        # else: the creating task is in flight; its completion will fire.
-
-        def on_ready(_oid: ObjectId, error: Optional[BaseException]) -> None:
-            if event.triggered:
-                return
-            if error is not None:
-                event.fail(error)
-            else:
-                event.succeed()
-
-        self.directory.on_ready(object_id, on_ready)
-        return event
+        """An event that fires once the object has a live copy somewhere
+        (triggering lineage reconstruction for lost objects; see
+        :meth:`LineageManager.ensure_available`)."""
+        return self.lineage.ensure_available(object_id)
 
     # -- driver-facing blocking API ------------------------------------------
     def run(self, fn: Any, *args: Any, **kwargs: Any) -> Any:

@@ -1,40 +1,45 @@
-"""Global task placement and fair-share dispatch (§4.3.2).
+"""Global task placement and dispatch: mechanism around the policy plane.
 
-Ray's two-level scheduler balances bin-packing against load-balancing; for
-shuffle what matters is (a) honouring the library's *soft node-affinity*
-hints (merge tasks pinned near their future reduce tasks), (b) data
-locality (run a task where most of its argument bytes already live), and
-(c) spreading everything else across alive nodes by load.
+Ray's two-level scheduler balances bin-packing against load-balancing;
+for shuffle what matters is (a) honouring the library's *soft
+node-affinity* hints (merge tasks pinned near their future reduce
+tasks), (b) data locality (run a task where most of its argument bytes
+already live), and (c) spreading everything else across alive nodes by
+load.  Recently-failed nodes are additionally *blacklisted* for a
+cooldown window (``RuntimeConfig.blacklist_cooldown_s``).
 
-Placement happens when a task's dependencies are all created, so locality
-information is fresh.  Affinity is soft: if the hinted node is dead, the
-task falls through to the normal policy -- this is what lets shuffles
-survive node failures without library-level handling.
+The decision rules themselves live in :mod:`repro.futures.policies`:
+the scheduler builds candidate views (alive nodes, blacklist state,
+load, argument bytes), asks the runtime's
+:class:`~repro.futures.policies.PlacementPolicy` *where* and its
+:class:`~repro.futures.policies.DispatchPolicy` *when*, publishes a
+``policy.decision`` event for each choice, and enacts it.  Placement
+happens when a task's dependencies are all created, so locality
+information is fresh.
 
-Recently-failed nodes are additionally *blacklisted* for a cooldown
-window (``RuntimeConfig.blacklist_cooldown_s``): a node that crashed and
-came straight back is avoided until the window elapses, so a flapping
-node cannot keep swallowing retried work.  Blacklisting is best-effort --
-if every alive node is blacklisted, placement proceeds as if none were.
-
-:class:`Scheduler` dispatches dependency-ready tasks immediately (global
-FIFO).  :class:`FairShareScheduler` extends it for the multi-tenant job
-control plane (:mod:`repro.jobs`): tasks tagged with a registered job id
-park in per-job queues and are released into the cluster by weighted
-virtual-time fair queueing, so concurrent jobs share task slots by
-weight instead of by submission burstiness.  Placement itself (affinity,
-locality, blacklist, load) is inherited unchanged -- fairness decides
-*when* a task dispatches, locality still decides *where*.
+:class:`FairShareScheduler` is the back-compat subclass pinning the
+``"fair-share"`` dispatch policy (weighted virtual-time queueing for
+the multi-tenant job control plane, :mod:`repro.jobs`); any scheduler
+whose dispatch policy ``supports_jobs`` exposes the same job surface.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import TYPE_CHECKING, Deque, Dict, Optional
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.common.errors import SchedulingError
 from repro.common.ids import NodeId
-from repro.futures.task import TaskPhase
+from repro.futures.policies.base import (
+    DispatchContext,
+    DispatchOutcome,
+    DispatchPolicy,
+    NodeCandidate,
+    PlacementDecision,
+    PlacementPolicy,
+    PlacementRequest,
+)
+from repro.futures.policies.defaults import FairShareDispatchPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.futures.runtime import Runtime
@@ -42,29 +47,150 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class Scheduler:
-    """Places dependency-ready tasks onto alive nodes."""
+    """Places and launches dependency-ready tasks via the policy plane."""
 
-    def __init__(self, runtime: "Runtime") -> None:
+    def __init__(
+        self,
+        runtime: "Runtime",
+        dispatch_policy: Optional[DispatchPolicy] = None,
+        placement_policy: Optional[PlacementPolicy] = None,
+    ) -> None:
         self.runtime = runtime
         #: Nodes to avoid until the mapped simulated time (cooldown after
         #: a failure); stale entries are pruned lazily during placement.
         self._blacklist_until: Dict[NodeId, float] = {}
+        #: Where tasks run (policy; defaults to the runtime's stack).
+        self.placement_policy: PlacementPolicy = (
+            placement_policy or runtime.policies.placement
+        )
+        #: When tasks launch (policy; defaults to the runtime's stack).
+        self.dispatch_policy: DispatchPolicy = (
+            dispatch_policy or runtime.policies.dispatch
+        )
 
     # -- dispatch -----------------------------------------------------------
+    @property
+    def supports_fair_share(self) -> bool:
+        """True when the dispatch policy manages per-job queues (the
+        jobs control plane requires this)."""
+        return bool(getattr(self.dispatch_policy, "supports_jobs", False))
+
+    @property
+    def total_slots(self) -> int:
+        """The dispatch budget: alive cores times the policy's
+        slots-per-core (1.0 for policies without the knob)."""
+        cores = sum(
+            manager.node.spec.cores
+            for manager in self.runtime.node_managers.values()
+            if manager.node.alive
+        )
+        per_core = getattr(self.dispatch_policy, "slots_per_core", 1.0)
+        return max(1, int(cores * per_core))
+
+    def _ctx(self) -> DispatchContext:
+        return DispatchContext(total_slots=self.total_slots)
+
     def dispatch(self, record: "TaskRecord") -> None:
-        """Launch a dependency-ready task immediately (global FIFO)."""
-        node_id = self.place(record)
+        """A task became dependency-ready: let the dispatch policy
+        launch it, park it, or release other queued work."""
+        outcome = self.dispatch_policy.submit(
+            record, record.spec.options.job_id, self._ctx()
+        )
+        self._enact(record, outcome)
+
+    def task_done(self, record: "TaskRecord") -> None:
+        """Hook: a dispatched task reached a terminal phase; the policy
+        may free a slot and release queued work."""
+        outcome = self.dispatch_policy.task_done(record, self._ctx())
+        self._enact(None, outcome)
+
+    def _enact(
+        self, record: Optional["TaskRecord"], outcome: DispatchOutcome
+    ) -> None:
+        """Publish the dispatch decision and launch what it released."""
+        bus = self.runtime.bus
+        if outcome.parked is not None and record is not None:
+            bus.emit(
+                "task.park",
+                task=record.spec.task_id,
+                job=outcome.parked.job_id,
+                queued=outcome.parked.queued,
+            )
+            bus.emit(
+                "policy.decision",
+                task=record.spec.task_id,
+                job=outcome.parked.job_id,
+                policy=f"dispatch:{self.dispatch_policy.name}",
+                decision="park",
+                queued=outcome.parked.queued,
+                released=len(outcome.launch),
+            )
+        elif outcome.picks:
+            bus.emit(
+                "policy.decision",
+                policy=f"dispatch:{self.dispatch_policy.name}",
+                decision="release",
+                picks=list(outcome.picks),
+            )
+        for released in outcome.launch:
+            self._launch(released)
+
+    def _launch(self, record: "TaskRecord") -> None:
+        """Place one record and hand it to its node manager."""
+        decision = self._place(record)
+        options = record.spec.options
+        attrs = {
+            "policy": f"placement:{decision.policy}",
+            "decision": "place",
+            "stage": decision.stage,
+            "candidates": decision.candidates,
+        }
+        if options.node is not None:
+            attrs["affinity"] = str(options.node)
+        self.runtime.bus.emit(
+            "policy.decision",
+            task=record.spec.task_id,
+            node=decision.node_id,
+            job=options.job_id,
+            **attrs,
+        )
         self.runtime.bus.emit(
             "task.place",
             task=record.spec.task_id,
-            node=node_id,
-            job=record.spec.options.job_id,
+            node=decision.node_id,
+            job=options.job_id,
         )
-        self.runtime.node_managers[node_id].submit(record)
+        self.runtime.node_managers[decision.node_id].submit(record)
 
-    def task_done(self, record: "TaskRecord") -> None:
-        """Hook: a dispatched task reached a terminal phase.  The base
-        scheduler keeps no dispatch state, so this is a no-op."""
+    # -- job surface (any supports_jobs dispatch policy) ---------------------
+    def register_job(
+        self,
+        job_id: str,
+        *,
+        weight: float = 1.0,
+        tenant: Optional[str] = None,
+        tenant_task_slots: Optional[int] = None,
+    ) -> None:
+        """Enrol a job with the dispatch policy (fair sharing)."""
+        self.dispatch_policy.register_job(
+            job_id,
+            weight=weight,
+            tenant=tenant,
+            tenant_task_slots=tenant_task_slots,
+        )
+
+    def unregister_job(self, job_id: str) -> None:
+        """Remove a finished job; any stragglers launch immediately."""
+        outcome = self.dispatch_policy.unregister_job(job_id, self._ctx())
+        self._enact(None, outcome)
+
+    def queued_tasks(self, job_id: str) -> int:
+        """How many of a job's tasks are parked awaiting a slot."""
+        return self.dispatch_policy.queued_tasks(job_id)
+
+    def inflight_tasks(self, job_id: str) -> int:
+        """How many of a job's tasks currently occupy slots."""
+        return self.dispatch_policy.inflight_tasks(job_id)
 
     # -- failure feedback ---------------------------------------------------
     def note_failure(self, node_id: NodeId) -> None:
@@ -83,8 +209,22 @@ class Scheduler:
             return False
         return True
 
+    # -- placement ----------------------------------------------------------
     def place(self, record: "TaskRecord") -> NodeId:
         """Choose a node for ``record``; raises if the cluster is empty."""
+        return self._place(record).node_id
+
+    def _place(self, record: "TaskRecord") -> PlacementDecision:
+        """Build the candidate views and ask the placement policy."""
+        request, candidates = self.placement_view(record)
+        return self.placement_policy.place(request, candidates)
+
+    def placement_view(
+        self, record: "TaskRecord"
+    ) -> Tuple[PlacementRequest, Tuple[NodeCandidate, ...]]:
+        """The policy-side view of one placement: the request plus one
+        candidate per alive node (blacklist state, load, argument bytes
+        resident in memory or on disk)."""
         runtime = self.runtime
         alive = {
             node_id: manager
@@ -93,36 +233,7 @@ class Scheduler:
         }
         if not alive:
             raise SchedulingError("no alive nodes to schedule on")
-        preferred = {
-            node_id: manager
-            for node_id, manager in alive.items()
-            if not self.is_blacklisted(node_id)
-        }
-        # Availability beats hygiene: with every alive node blacklisted,
-        # schedule as if none were.
-        if preferred:
-            alive = preferred
-
-        options = record.spec.options
-        if runtime.config.enable_node_affinity and options.node is not None:
-            if options.node in alive:
-                return options.node
-            # Soft affinity: the hinted node is down (or blacklisted),
-            # fall through.
-
-        if runtime.config.enable_locality_scheduling:
-            best = self._locality_choice(record, alive)
-            if best is not None:
-                return best
-
-        return self._least_loaded(alive)
-
-    # -- policies ------------------------------------------------------------
-    def _locality_choice(
-        self, record: "TaskRecord", alive: Dict[NodeId, object]
-    ) -> Optional[NodeId]:
-        """Node holding the most argument bytes, if any node holds any."""
-        directory = self.runtime.directory
+        directory = runtime.directory
         bytes_by_node: Dict[NodeId, int] = defaultdict(int)
         for dep in record.spec.dependency_ids:
             dep_record = directory.maybe_get(dep)
@@ -134,20 +245,22 @@ class Scheduler:
             for node_id in dep_record.spill_nodes:
                 if node_id in alive:
                     bytes_by_node[node_id] += dep_record.size
-        if not bytes_by_node:
-            return None
-        # Max bytes; break ties by load then node id for determinism.
-        return min(
-            bytes_by_node,
-            key=lambda nid: (
-                -bytes_by_node[nid],
-                self._load(alive[nid]),
-                nid,
-            ),
+        candidates = tuple(
+            NodeCandidate(
+                node_id=node_id,
+                blacklisted=self.is_blacklisted(node_id),
+                load=self._load(manager),
+                arg_bytes=bytes_by_node.get(node_id, 0),
+            )
+            for node_id, manager in alive.items()
         )
-
-    def _least_loaded(self, alive: Dict[NodeId, object]) -> NodeId:
-        return min(alive, key=lambda nid: (self._load(alive[nid]), nid))
+        options = record.spec.options
+        request = PlacementRequest(
+            task_id=record.spec.task_id,
+            affinity=options.node,
+            job_id=options.job_id,
+        )
+        return request, candidates
 
     @staticmethod
     def _load(manager: object) -> float:
@@ -155,164 +268,24 @@ class Scheduler:
 
 
 class FairShareScheduler(Scheduler):
-    """Weighted fair queueing of tasks across concurrent jobs.
+    """A scheduler pinned to the ``"fair-share"`` dispatch policy.
 
-    Tasks from *registered* jobs park in per-job FIFO queues; a fixed
-    budget of cluster task slots (alive cores times ``slots_per_core``)
-    is shared among them by virtual-time weighted fair queueing: each
-    dispatch advances the job's virtual time by ``1 / weight``, and the
-    job with the smallest virtual time dispatches next.  A job with
-    twice the weight therefore launches twice the tasks over any window
-    where both jobs have work -- without starving anyone, since a
-    briefly idle job rejoins at the current virtual clock rather than
-    catching up on "missed" service.
-
-    Tenancy composes on top: jobs registered with a ``tenant`` share
-    that tenant's optional concurrent-task-slot cap, so one tenant's
-    many jobs cannot crowd out another tenant regardless of per-job
-    weights.  Unregistered work (plain single-driver runs, retried
-    in-flight tasks) bypasses fairness entirely and dispatches
-    immediately, keeping the base behaviour for everything that is not
-    a control-plane job.
+    Kept as a named class for back-compat (the jobs control plane
+    historically type-checked it); the behaviour -- weighted
+    virtual-time fair queueing with tenant slot caps -- lives in
+    :class:`~repro.futures.policies.FairShareDispatchPolicy`, and any
+    scheduler whose dispatch policy ``supports_jobs`` is equivalent.
     """
 
     def __init__(self, runtime: "Runtime", slots_per_core: float = 1.0) -> None:
-        super().__init__(runtime)
-        if slots_per_core <= 0:
-            raise ValueError("slots_per_core must be positive")
-        #: Concurrent task slots granted per alive core; >1 oversubscribes
-        #: (useful when tasks are I/O heavy), <1 keeps queues deep.
-        self.slots_per_core = slots_per_core
-        self._queues: Dict[str, Deque["TaskRecord"]] = {}
-        self._weights: Dict[str, float] = {}
-        self._tenant_of: Dict[str, Optional[str]] = {}
-        self._tenant_caps: Dict[str, int] = {}
-        self._vtime: Dict[str, float] = {}
-        self._vclock = 0.0
-        self._inflight: Dict["TaskRecord", str] = {}
-        self._inflight_by_job: Dict[str, int] = defaultdict(int)
-        self._inflight_by_tenant: Dict[str, int] = defaultdict(int)
+        super().__init__(
+            runtime,
+            dispatch_policy=FairShareDispatchPolicy(
+                slots_per_core=slots_per_core
+            ),
+        )
 
-    # -- job registry -------------------------------------------------------
     @property
-    def total_slots(self) -> int:
-        """The dispatch budget: alive cores times ``slots_per_core``."""
-        cores = sum(
-            manager.node.spec.cores
-            for manager in self.runtime.node_managers.values()
-            if manager.node.alive
-        )
-        return max(1, int(cores * self.slots_per_core))
-
-    def register_job(
-        self,
-        job_id: str,
-        *,
-        weight: float = 1.0,
-        tenant: Optional[str] = None,
-        tenant_task_slots: Optional[int] = None,
-    ) -> None:
-        """Enrol a job in fair sharing; its tasks queue until dispatched.
-
-        ``weight`` scales the job's share of task slots.  ``tenant``
-        groups jobs under a shared concurrent-slot cap
-        (``tenant_task_slots``; unlimited when ``None``).
-        """
-        if weight <= 0:
-            raise ValueError(f"job weight must be positive, got {weight}")
-        if job_id in self._queues:
-            raise ValueError(f"job {job_id!r} already registered")
-        self._queues[job_id] = deque()
-        self._weights[job_id] = weight
-        self._tenant_of[job_id] = tenant
-        if tenant is not None and tenant_task_slots is not None:
-            self._tenant_caps[tenant] = tenant_task_slots
-        # Join at the current virtual clock: no retroactive catch-up.
-        self._vtime[job_id] = self._vclock
-
-    def unregister_job(self, job_id: str) -> None:
-        """Remove a finished job; any stragglers dispatch immediately."""
-        queue = self._queues.pop(job_id, None)
-        if queue is None:
-            return
-        self._weights.pop(job_id, None)
-        self._tenant_of.pop(job_id, None)
-        self._vtime.pop(job_id, None)
-        for record in queue:
-            if record.phase not in (TaskPhase.FINISHED, TaskPhase.FAILED):
-                super().dispatch(record)
-        self._pump()
-
-    def queued_tasks(self, job_id: str) -> int:
-        """How many of a job's tasks are parked awaiting a slot."""
-        queue = self._queues.get(job_id)
-        return len(queue) if queue is not None else 0
-
-    def inflight_tasks(self, job_id: str) -> int:
-        """How many of a job's tasks currently occupy slots."""
-        return self._inflight_by_job.get(job_id, 0)
-
-    # -- dispatch -----------------------------------------------------------
-    def dispatch(self, record: "TaskRecord") -> None:
-        """Queue a registered job's task for fair dispatch; everything
-        else (unregistered jobs, retries of slot-holding tasks) launches
-        immediately via the base policy."""
-        job_id = record.spec.options.job_id
-        if job_id is None or job_id not in self._queues:
-            super().dispatch(record)
-            return
-        if record in self._inflight:
-            # A retry of a task that still holds its slot (executor or
-            # node failure): re-launch without re-charging.
-            super().dispatch(record)
-            return
-        self._queues[job_id].append(record)
-        self.runtime.bus.emit(
-            "task.park",
-            task=record.spec.task_id,
-            job=job_id,
-            queued=len(self._queues[job_id]),
-        )
-        self._pump()
-
-    def task_done(self, record: "TaskRecord") -> None:
-        """Free the task's slot (terminal phase) and dispatch more work."""
-        job_id = self._inflight.pop(record, None)
-        if job_id is None:
-            return
-        if self._inflight_by_job.get(job_id, 0) > 0:
-            self._inflight_by_job[job_id] -= 1
-        tenant = self._tenant_of.get(job_id)
-        if tenant is not None and self._inflight_by_tenant.get(tenant, 0) > 0:
-            self._inflight_by_tenant[tenant] -= 1
-        self._pump()
-
-    def _eligible(self, job_id: str) -> bool:
-        if not self._queues[job_id]:
-            return False
-        tenant = self._tenant_of.get(job_id)
-        if tenant is None:
-            return True
-        cap = self._tenant_caps.get(tenant)
-        return cap is None or self._inflight_by_tenant[tenant] < cap
-
-    def _pump(self) -> None:
-        """Dispatch queued tasks while slots remain, smallest virtual
-        time first (ties broken by job id for determinism)."""
-        while len(self._inflight) < self.total_slots:
-            candidates = [job for job in self._queues if self._eligible(job)]
-            if not candidates:
-                return
-            best = min(candidates, key=lambda job: (self._vtime[job], job))
-            record = self._queues[best].popleft()
-            if record.phase in (TaskPhase.FINISHED, TaskPhase.FAILED):
-                # Failed while parked (e.g. a lost dependency); drop it.
-                continue
-            self._vclock = self._vtime[best]
-            self._vtime[best] += 1.0 / self._weights[best]
-            self._inflight[record] = best
-            self._inflight_by_job[best] += 1
-            tenant = self._tenant_of.get(best)
-            if tenant is not None:
-                self._inflight_by_tenant[tenant] += 1
-            super().dispatch(record)
+    def slots_per_core(self) -> float:
+        """Concurrent task slots granted per alive core."""
+        return self.dispatch_policy.slots_per_core

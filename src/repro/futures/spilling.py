@@ -19,6 +19,8 @@ import itertools
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.common.ids import NodeId, ObjectId
+from repro.futures.policies.base import SpillCandidate, SpillPolicy
+from repro.futures.policies.defaults import FusedSpillPolicy
 from repro.metrics.core import Counters
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,6 +81,7 @@ class SpillManager:
         counters: Counters,
         charge: Optional[Callable[[ObjectId, str, float], None]] = None,
         bus: Optional["EventBus"] = None,
+        policy: Optional[SpillPolicy] = None,
     ) -> None:
         self.node = node
         self.env = node.env
@@ -86,6 +89,12 @@ class SpillManager:
         self.directory = directory
         self.config = config
         self.counters = counters
+        #: Victim-selection/batching policy; the default reproduces the
+        #: config-flag behaviour (fusing per ``enable_write_fusing``).
+        self.policy: SpillPolicy = policy or FusedSpillPolicy(
+            fuse_min_bytes=config.fuse_min_bytes,
+            fused=config.enable_write_fusing,
+        )
         #: Optional structured event bus; spill writes, restore reads,
         #: and filesystem fallbacks publish begin/end events into it.
         self.bus = bus
@@ -124,7 +133,14 @@ class SpillManager:
 
     # -- the pressure valve --------------------------------------------------
     def kick(self) -> None:
-        """React to store pressure; called whenever the queue backlogs."""
+        """React to store pressure; called whenever the queue backlogs.
+
+        The spill *policy* decides how much to move, which objects to
+        victimise (soon-needed arguments only as a last resort), and how
+        victims group into files; this method owns the mechanism around
+        it -- the in-flight latch, dropping already-spilled memory
+        copies, and the filesystem fallback that preserves liveness.
+        """
         if not self.config.enable_spilling:
             self._fallback_if_stuck()
             return
@@ -132,36 +148,47 @@ class SpillManager:
             return  # current spill will re-kick on completion
         if self.store.backlog == 0:
             return
-        target = max(self.store.backlog_bytes, self.config.fuse_min_bytes)
-        # Prefer victims no queued local task is waiting to read; spilling
-        # an imminent task argument just forces an immediate restore.
-        victims = [
-            (oid, size)
-            for oid, size in self.store.spill_candidates(
-                target, skip=self.needed_soon
+        target = self.policy.target_bytes(self.store.backlog_bytes)
+        candidates = [
+            SpillCandidate(
+                object_id=oid,
+                size=size,
+                needed_soon=self.needed_soon(oid),
+                spilled=oid in self._slots,
             )
-            if oid not in self._slots
+            for oid, size in self.store.spillable_entries()
         ]
+        last_resort = False
+        victims = self.policy.select_victims(
+            candidates, target, last_resort=False
+        )
         if not victims:
             # Objects already spilled but still in memory can simply be
             # dropped -- their disk copy is authoritative.
             if self._drop_already_spilled():
                 return
             # Last resort: spill even soon-needed objects to stay live.
-            victims = [
-                (oid, size)
-                for oid, size in self.store.spill_candidates(target)
-                if oid not in self._slots
-            ]
+            last_resort = True
+            victims = self.policy.select_victims(
+                candidates, target, last_resort=True
+            )
         if not victims:
             self._fallback_if_stuck()
             return
-        if self.config.enable_write_fusing:
-            batches = [victims]
-        else:
-            batches = [[victim] for victim in victims]
+        batches = self.policy.make_batches(victims)
+        if self.bus is not None:
+            self.bus.emit(
+                "policy.decision",
+                node=self.node.node_id,
+                policy=f"spill:{self.policy.name}",
+                decision="spill-victims",
+                candidates=len(candidates),
+                bytes=sum(victim.size for victim in victims),
+                batches=len(batches),
+                last_resort=last_resort,
+            )
         for batch in batches:
-            self._start_spill(batch)
+            self._start_spill([(v.object_id, v.size) for v in batch])
 
     def _drop_already_spilled(self) -> bool:
         dropped = False

@@ -48,8 +48,11 @@ class JobManager:
         planner: Optional[ShufflePlanner] = None,
     ) -> None:
         self.runtime = runtime
-        if isinstance(runtime.scheduler, FairShareScheduler):
-            self.fair: FairShareScheduler = runtime.scheduler
+        # Duck-typed: any scheduler whose dispatch policy supports jobs
+        # works (e.g. RuntimeConfig(dispatch_policy="fair-share")); a
+        # plain FIFO scheduler is upgraded to fair sharing in place.
+        if getattr(runtime.scheduler, "supports_fair_share", False):
+            self.fair = runtime.scheduler
         else:
             self.fair = FairShareScheduler(
                 runtime, slots_per_core=slots_per_core

@@ -32,7 +32,10 @@ and is the CI gate for this package:
 4. the perf layer must attribute the chaos run's critical path with the
    categories summing to the makespan, derive a usage timeline, export
    counter tracks, and the bench differ must flag a synthetic slowdown
-   while refusing mismatched configs.
+   while refusing mismatched configs;
+5. the recorded ``policy.decision`` stream must reconstruct placement
+   affinity accounting (honoured vs fell-through partitioning every
+   placement) and render as the report's policy section.
 
 Exit code 0 means all checks held.
 """
@@ -266,6 +269,37 @@ def _smoke_reporter(seed: int, out_dir: Path) -> int:
     )
 
 
+def _smoke_policy(seed: int, out_dir: Path) -> int:
+    """The policy plane's decisions must be reconstructable offline."""
+    failures = 0
+    report = RunReport.load(str(out_dir / "chaos.events.jsonl"))
+    places = [
+        e
+        for e in report.events
+        if e.kind == "policy.decision" and e.attrs.get("decision") == "place"
+    ]
+    affinity = report.affinity_summary()
+    failures += _check(
+        bool(places),
+        f"{len(places)} placement policy decisions recorded",
+    )
+    failures += _check(
+        affinity["honoured"] > 0,
+        f"affinity honoured on {affinity['honoured']} placements "
+        f"({affinity['fell_through']} fell through, "
+        f"{affinity['no_hint']} unhinted)",
+    )
+    failures += _check(
+        sum(affinity.values()) == len(places),
+        "affinity accounting partitions every placement decision",
+    )
+    failures += _check(
+        "Policy decisions" in report.render(),
+        "report renders the policy-decision section",
+    )
+    return failures
+
+
 def _load_events(path: str):
     from repro.obs.events import EventBus
 
@@ -474,6 +508,7 @@ def main(argv=None) -> int:
             failures += _smoke_spill_accounting(args.seed, out_dir)
             failures += _smoke_reporter(args.seed, out_dir)
             failures += _smoke_perf(args.seed, out_dir)
+            failures += _smoke_policy(args.seed, out_dir)
         print(
             "obs smoke passed"
             if not failures

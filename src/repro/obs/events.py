@@ -36,6 +36,11 @@ EVENT_KINDS: Dict[str, str] = {
     "task.finish": "an attempt finished successfully",
     "task.fail": "the task failed terminally (attrs: error)",
     "task.retry": "the task was resubmitted (cause: the triggering fault)",
+    # policy plane
+    "policy.decision": (
+        "a data-plane policy chose among candidates "
+        "(attrs: policy, decision, stage/candidates/... per kind)"
+    ),
     # object lifecycle and movement
     "object.create": "an object became available (attrs: bytes)",
     "object.evict": "refcount hit zero; the object was evicted everywhere",

@@ -12,6 +12,8 @@ renders the sections behind ``python -m repro.obs``:
 - per-job/per-tenant summary with the max/min completion-ratio fairness
   figure of merit;
 - spill amplification (spill bytes written per task output byte);
+- policy decisions (per-policy counts from ``policy.decision`` events,
+  with placement affinity honoured-vs-fell-through accounting);
 - the fault/retry timeline, each retry annotated with its causal chain
   back to the fault that triggered it.
 """
@@ -201,6 +203,67 @@ class RunReport:
             return None
         return stats.get("spill_bytes_written", 0.0) / output
 
+    def policy_decisions(self) -> Dict[str, Dict[str, int]]:
+        """``policy.decision`` counts, grouped by policy then decision.
+
+        Placement decisions additionally split by deciding *stage*
+        (``place:affinity``, ``place:locality``, ...), which is what the
+        affinity-honoured accounting below is derived from.
+        """
+        grouped: Dict[str, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for event in self.events:
+            if event.kind != "policy.decision":
+                continue
+            policy = str(event.attrs.get("policy", "?"))
+            decision = str(event.attrs.get("decision", "?"))
+            stage = event.attrs.get("stage")
+            if stage is not None:
+                decision = f"{decision}:{stage}"
+            grouped[policy][decision] += 1
+        return {p: dict(d) for p, d in grouped.items()}
+
+    def affinity_summary(self) -> Dict[str, int]:
+        """Placement affinity accounting from ``policy.decision`` events.
+
+        ``honoured``: the hint decided placement; ``fell_through``: a
+        hint was set but another stage decided (dead/blacklisted hint);
+        ``no_hint``: placements without an affinity hint.
+        """
+        honoured = fell_through = no_hint = 0
+        for event in self.events:
+            if event.kind != "policy.decision":
+                continue
+            if event.attrs.get("decision") != "place":
+                continue
+            if event.attrs.get("affinity") is None:
+                no_hint += 1
+            elif event.attrs.get("stage") == "affinity":
+                honoured += 1
+            else:
+                fell_through += 1
+        return {
+            "honoured": honoured,
+            "fell_through": fell_through,
+            "no_hint": no_hint,
+        }
+
+    def policy_table(self) -> ResultTable:
+        """One row per (policy, decision) pair seen on the bus."""
+        table = ResultTable(
+            "Policy decisions", ["policy", "decision", "count"]
+        )
+        grouped = self.policy_decisions()
+        for policy in sorted(grouped):
+            for decision in sorted(grouped[policy]):
+                table.add_row(
+                    policy=policy,
+                    decision=decision,
+                    count=grouped[policy][decision],
+                )
+        return table
+
     def fault_timeline(self) -> List[str]:
         """Chronological fault / death / retry lines with causal chains."""
         lines = []
@@ -257,6 +320,18 @@ class RunReport:
             ratio = self.fairness_ratio()
             if ratio is not None:
                 parts.append(f"fairness (max/min job duration): {ratio:.2f}x")
+        policy_table = self.policy_table()
+        if len(policy_table):
+            parts.append("")
+            parts.append(policy_table.render())
+            affinity = self.affinity_summary()
+            if affinity["honoured"] or affinity["fell_through"]:
+                parts.append(
+                    "affinity: "
+                    f"{affinity['honoured']} honoured, "
+                    f"{affinity['fell_through']} fell through, "
+                    f"{affinity['no_hint']} unhinted"
+                )
         amp = self.spill_amplification()
         if amp is not None:
             parts.append("")

@@ -1,0 +1,60 @@
+"""The layering lint: the policy plane must not import mechanism.
+
+Runs ``tools/check_layering.py`` (the CI step) over the real tree, then
+over synthetic violations to prove the lint actually bites.
+"""
+
+import importlib.util
+import sys
+import textwrap
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _lint():
+    spec = importlib.util.spec_from_file_location(
+        "check_layering", REPO / "tools" / "check_layering.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_policy_plane_is_mechanism_free():
+    lint = _lint()
+    violations = lint.check_tree(REPO / "src" / "repro" / "futures" / "policies")
+    assert violations == []
+
+
+def test_lint_catches_mechanism_imports(tmp_path):
+    lint = _lint()
+    bad = tmp_path / "rogue.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import json
+            from repro.common.ids import NodeId
+            from repro.futures.runtime import Runtime
+            from repro.futures import node_manager
+            import repro.simcore
+            from .sibling import helper
+            """
+        )
+    )
+    violations = lint.check_tree(tmp_path)
+    offending = [v.split("imports ")[1].split(" ")[0] for v in violations]
+    assert offending == ["'repro.futures.runtime'", "'repro.futures'",
+                        "'repro.simcore'"]
+
+
+def test_lint_main_exit_codes(tmp_path, capsys):
+    lint = _lint()
+    clean = tmp_path / "clean"
+    clean.mkdir()
+    (clean / "ok.py").write_text("from repro.common.ids import NodeId\n")
+    assert lint.main([str(clean)]) == 0
+    (clean / "bad.py").write_text("from repro.futures.scheduler import Scheduler\n")
+    assert lint.main([str(clean)]) == 1
+    assert lint.main([str(tmp_path / "missing")]) == 2
+    capsys.readouterr()

@@ -1,0 +1,241 @@
+"""The policy plane: registry contents and placement-policy properties.
+
+The property tests run over *every* registered placement policy, so a
+newly registered policy is automatically held to the same contract:
+return only (alive) candidates, honour the blacklist when alternatives
+exist, and fall through gracefully when all candidates are blacklisted
+or the affinity hint is dead.  A chaos-matrix integration test then
+checks the same alive-nodes-only invariant end to end under every fault
+kind, replaying the event stream against the death/restart timeline.
+"""
+
+from typing import List, Optional
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.harness import (
+    default_node_spec,
+    expected_output,
+    make_inputs,
+    submit_variant,
+)
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.spec import FaultKind, matrix_plan
+from repro.common.ids import NodeId, TaskId
+from repro.futures import (
+    POLICY_KINDS,
+    RetryPolicy,
+    Runtime,
+    RuntimeConfig,
+    available_policies,
+    create_policy,
+    register_policy,
+)
+from repro.futures.policies import (
+    NodeCandidate,
+    PlacementDecision,
+    PlacementRequest,
+    StagedPlacementPolicy,
+)
+from repro.futures.policies.registry import _REGISTRY
+
+
+# -- registry -----------------------------------------------------------------
+def test_registry_has_the_builtin_policies():
+    names = available_policies()
+    assert set(names) == set(POLICY_KINDS)
+    assert {"default", "load-only", "random"} <= set(names["placement"])
+    assert {"default", "newest-first"} <= set(names["memory"])
+    assert {"default", "unfused"} <= set(names["spill"])
+    assert {"fifo", "fair-share"} <= set(names["dispatch"])
+
+
+def test_unknown_policy_name_is_a_typed_error():
+    with pytest.raises(ValueError, match="unknown placement policy"):
+        create_policy("placement", "nope", RuntimeConfig())
+    with pytest.raises(ValueError, match="unknown policy kind"):
+        register_policy("steering", "x", lambda config: None)
+    with pytest.raises(ValueError, match="unknown spill policy 'nope'"):
+        Runtime.create(
+            default_node_spec(), 2, config=RuntimeConfig(spill_policy="nope")
+        )
+
+
+def test_custom_policy_registers_and_resolves_through_config():
+    class FirstNodePolicy:
+        name = "first-node"
+
+        def place(self, request, candidates):
+            chosen = candidates[0]
+            return PlacementDecision(
+                node_id=chosen.node_id,
+                stage="first",
+                policy=self.name,
+                candidates=len(candidates),
+            )
+
+    register_policy("placement", "first-node", lambda config: FirstNodePolicy())
+    try:
+        rt = Runtime.create(
+            default_node_spec(),
+            2,
+            config=RuntimeConfig(placement_policy="first-node"),
+        )
+        assert rt.policies.placement.name == "first-node"
+        double = rt.remote(lambda x: 2 * x)
+
+        def driver():
+            return rt.get([double.remote(i) for i in range(4)])
+
+        assert rt.run(driver) == [0, 2, 4, 6]
+        places = rt.bus.events_of("policy.decision")
+        assert any(
+            e.attrs.get("policy") == "placement:first-node" for e in places
+        )
+    finally:
+        del _REGISTRY[("placement", "first-node")]
+
+
+# -- placement-policy properties ----------------------------------------------
+def _placement_policies() -> List[str]:
+    return available_policies("placement")["placement"]
+
+
+def _make_candidates(
+    blacklisted: List[bool], loads: List[int], arg_bytes: List[int]
+) -> List[NodeCandidate]:
+    return [
+        NodeCandidate(
+            node_id=NodeId(i),
+            blacklisted=black,
+            load=load / 4.0,
+            arg_bytes=bytes_,
+        )
+        for i, (black, load, bytes_) in enumerate(
+            zip(blacklisted, loads, arg_bytes)
+        )
+    ]
+
+
+candidate_lists = st.integers(min_value=1, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.booleans(), min_size=n, max_size=n),
+        st.lists(
+            st.integers(min_value=0, max_value=12), min_size=n, max_size=n
+        ),
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 20),
+            min_size=n,
+            max_size=n,
+        ),
+        st.integers(min_value=0, max_value=2 * n),  # affinity target
+        st.booleans(),  # hint set at all?
+    )
+)
+
+
+@pytest.mark.parametrize("policy_name", _placement_policies())
+@given(data=candidate_lists)
+@settings(max_examples=60, deadline=None)
+def test_placement_contract(policy_name: str, data) -> None:
+    """Every registered placement policy: alive-only, blacklist-aware,
+    graceful fall-through."""
+    blacklisted, loads, arg_bytes, hint_index, hinted = data
+    candidates = _make_candidates(blacklisted, loads, arg_bytes)
+    # hint_index beyond the candidate range models a *dead* hinted node.
+    affinity: Optional[NodeId] = NodeId(hint_index) if hinted else None
+    request = PlacementRequest(
+        task_id=TaskId(7), affinity=affinity, job_id=None
+    )
+    policy = create_policy("placement", policy_name, RuntimeConfig())
+    decision = policy.place(request, candidates)
+
+    by_id = {c.node_id: c for c in candidates}
+    # Only ever one of the (alive) candidates.
+    assert decision.node_id in by_id
+    assert decision.candidates == len(candidates)
+    chosen = by_id[decision.node_id]
+    # Blacklist honoured whenever an alternative exists...
+    if chosen.blacklisted and decision.stage != "affinity":
+        assert all(c.blacklisted for c in candidates)
+    # ...and all-blacklisted pools still place (liveness over hygiene).
+    if all(c.blacklisted for c in candidates):
+        assert decision.node_id in by_id
+
+
+@given(data=candidate_lists)
+@settings(max_examples=60, deadline=None)
+def test_default_placement_affinity_semantics(data) -> None:
+    """The default stack honours live hints and falls through dead ones."""
+    blacklisted, loads, arg_bytes, hint_index, _ = data
+    candidates = _make_candidates(blacklisted, loads, arg_bytes)
+    hint = NodeId(hint_index)
+    request = PlacementRequest(task_id=TaskId(0), affinity=hint, job_id=None)
+    policy = create_policy("placement", "default", RuntimeConfig())
+    decision = policy.place(request, candidates)
+    survivors = [c for c in candidates if not c.blacklisted] or candidates
+    if any(c.node_id == hint for c in survivors):
+        # A live, non-blacklisted hinted node is always honoured.
+        assert decision.node_id == hint
+        assert decision.stage == "affinity"
+    else:
+        # Dead (or blacklisted-away) hint: soft affinity falls through.
+        assert decision.stage != "affinity"
+        assert decision.node_id in {c.node_id for c in candidates}
+
+
+def test_staged_policy_empty_stage_result_is_ignored():
+    """A stage that would empty the pool is skipped, not fatal."""
+
+    class EmptyStage:
+        name = "empty"
+
+        def apply(self, request, candidates):
+            return []
+
+    policy = StagedPlacementPolicy("test", [EmptyStage()])
+    candidates = _make_candidates([False, False], [1, 0], [0, 0])
+    decision = policy.place(
+        PlacementRequest(task_id=TaskId(1), affinity=None, job_id=None),
+        candidates,
+    )
+    assert decision.stage == "fallback"
+    assert decision.node_id == NodeId(0)
+
+
+# -- chaos matrix integration -------------------------------------------------
+@pytest.mark.parametrize("kind", list(FaultKind))
+def test_placements_target_alive_nodes_across_failure_matrix(kind):
+    """Under every chaos fault kind, each task.place lands on a node not
+    currently dead (replayed from the event stream in seq order)."""
+    seed = 11
+    rt = Runtime.create(
+        default_node_spec(),
+        4,
+        config=RuntimeConfig(retry_policy=RetryPolicy(max_attempts=8)),
+    )
+    ChaosInjector(rt, matrix_plan(kind, seed=seed))
+    inputs = make_inputs(seed, 8, 24)
+
+    def driver():
+        return rt.get(submit_variant("push", rt, inputs, 4))
+
+    values = rt.run(driver)
+    rt.env.run()  # drain restarts
+    assert tuple(tuple(v) for v in values) == expected_output(seed)
+
+    dead = set()
+    placements = 0
+    for event in rt.bus.events:
+        if event.kind == "node.death":
+            dead.add(event.node)
+        elif event.kind == "node.restart":
+            dead.discard(event.node)
+        elif event.kind == "task.place":
+            placements += 1
+            assert event.node not in dead, (
+                f"{event.kind} seq={event.seq} placed on dead {event.node}"
+            )
+    assert placements > 0

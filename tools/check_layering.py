@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Layering lint: the policy plane must stay mechanism-free.
+
+``repro.futures.policies`` holds pure decision rules; the refactor that
+extracted them is only worth keeping if they *stay* extracted.  This
+tool walks every module under ``src/repro/futures/policies`` with
+:mod:`ast` and reports any import that is not
+
+- the Python standard library,
+- ``repro.common`` (ids, errors, rng, units -- value types and helpers),
+- ``repro.futures.task`` / ``repro.futures.refs`` (task/ref value types),
+- the policies package itself (absolute or relative).
+
+In particular ``Runtime``, ``NodeManager``, ``ObjectStore``,
+``Scheduler``, and ``repro.simcore`` are mechanism layers and must
+never be imported here -- policies receive frozen view dataclasses, not
+live runtime state.  Run as ``python tools/check_layering.py`` (CI does;
+nonzero exit on violation).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+#: Import prefixes the policy plane may use, besides the stdlib and
+#: its own (relative) modules.
+ALLOWED_PREFIXES = (
+    "repro.common",
+    "repro.futures.task",
+    "repro.futures.refs",
+    "repro.futures.policies",
+)
+
+#: The default tree to check, relative to the repo root.
+DEFAULT_ROOT = Path("src") / "repro" / "futures" / "policies"
+
+
+def _allowed(module: str) -> bool:
+    """Is an absolute import target acceptable inside the policy plane?"""
+    if not module.startswith("repro"):
+        return True  # stdlib (third-party deps would fail import anyway)
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in ALLOWED_PREFIXES
+    )
+
+
+def check_file(path: Path) -> List[str]:
+    """Violation messages (``file:line: import``) for one module."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations: List[str] = []
+
+    def offend(node: ast.stmt, module: str) -> None:
+        violations.append(
+            f"{path}:{node.lineno}: imports {module!r} "
+            f"(policy plane may only import {', '.join(ALLOWED_PREFIXES)})"
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if not _allowed(alias.name):
+                    offend(node, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level > 0:
+                continue  # relative: stays inside the policies package
+            module = node.module or ""
+            if not _allowed(module):
+                offend(node, module)
+    return violations
+
+
+def check_tree(root: Path) -> List[str]:
+    """All violations under ``root`` (sorted for stable output)."""
+    violations: List[str] = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_file(path))
+    return violations
+
+
+def main(argv: List[str] = None) -> int:
+    """Entry point: check the tree, print violations, exit nonzero."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path(args[0]) if args else DEFAULT_ROOT
+    if not root.exists():
+        print(f"layering: no such tree {root}", file=sys.stderr)
+        return 2
+    violations = check_tree(root)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"layering: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"layering: {root} clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
