@@ -264,6 +264,11 @@ def finish_bench(
         "fingerprint": {
             "bench": name,
             "sort_scale": SORT_SCALE,
+            # Elasticity can change the cluster mid-run and spill can be
+            # redirected to a shared tier; both shape the numbers, so
+            # both are part of comparability.
+            "nodes": len(rt.node_managers) if rt is not None else None,
+            "spill_backend": rt.config.spill_backend if rt is not None else None,
             "cluster": rt.cluster_snapshot() if rt is not None else None,
         },
         "events_jsonl": None,

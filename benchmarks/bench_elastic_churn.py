@@ -1,0 +1,191 @@
+"""Shuffle durability under cluster churn: local vs shared spill tier.
+
+The paper's fault-tolerance experiments (§5.1.5) recover lost shuffle
+blocks by lineage re-execution because spilled bytes live on the dead
+node's local disk.  A disaggregated spill tier changes that trade: map
+outputs spilled through the shared store survive a planned node
+departure, so reduces restore them instead of re-running maps.
+
+This benchmark runs the same map/shuffle/reduce workload twice -- once
+per ``RuntimeConfig.spill_backend`` arm -- with identical churn: after
+every map output has been forced out to the spill tier, one worker node
+is removed and a fresh node joins.  The headline signal is the
+``lineage_reconstructions`` counter: the local-disk arm must re-execute
+the departed node's maps (> 0) while the shared-store arm completes
+with zero recomputes of spilled map outputs.
+
+Scale: a 4-node cluster with 32 MiB object stores moving 8 MiB map
+blocks keeps the block:store ratio (~1:4) that forces spilling, the
+same pressure shape as the 1 TB externals at 1/SORT_SCALE size.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+import numpy as np
+import pytest
+
+from repro.cluster import DiskSpec, NicSpec, NodeSpec
+from repro.common.units import MB, MIB
+from repro.futures import RuntimeConfig
+from repro.metrics import ResultTable
+
+from benchmarks._harness import finish_bench, make_runtime
+
+SEED = 3
+
+#: Maps per worker node; each produces one BLOB_MB block.
+MAPS_PER_NODE = 6
+BLOB_MB = 8
+NUM_NODES = 4
+STORE_MIB = 32
+
+
+def _churn_node() -> NodeSpec:
+    return NodeSpec(
+        name="elastic-bench-node",
+        cores=4,
+        memory_bytes=8 * 1024 * MIB,
+        object_store_bytes=STORE_MIB * MIB,
+        disk=DiskSpec(bandwidth_bytes_per_sec=200e6, seek_latency_s=5e-3),
+        nic=NicSpec(bandwidth_bytes_per_sec=125e6),
+    )
+
+
+def run_churn_shuffle(spill_backend: str, *, join: bool = True,
+                      maps_per_node: int = MAPS_PER_NODE) -> Dict[str, Any]:
+    """One churn run; returns metrics keyed for the figure table.
+
+    Shape: maps pinned round-robin across all nodes produce blocks that
+    overflow the store (spilling), a per-node flush task evicts the
+    stragglers still in memory, the last worker node departs (and a
+    replacement joins), then reduces consume every block.
+    """
+    config = RuntimeConfig(spill_backend=spill_backend)
+    rt = make_runtime(_churn_node(), NUM_NODES, config=config)
+    node_ids = list(rt.cluster.node_ids)
+    victim = node_ids[-1]
+    num_maps = maps_per_node * NUM_NODES
+
+    def map_block(i):
+        # Deterministic content so reconstructed blocks checksum the same.
+        return np.full(BLOB_MB * MB, i % 251, dtype=np.uint8)
+
+    def flush(_i):
+        # Output sized so admitting it forces every unpinned map block
+        # out of the store: 30 MB into a 32 MiB store leaves < 8 MB free.
+        return np.zeros(30 * MB, dtype=np.uint8)
+
+    def reduce_pair(a, b):
+        return int(a[0]) + int(b[0]) + len(a) + len(b)
+
+    make = rt.remote(map_block)
+    flusher = rt.remote(flush)
+    reducer = rt.remote(reduce_pair)
+
+    def driver():
+        map_refs = [
+            make.options(node=node_ids[i % NUM_NODES]).remote(i)
+            for i in range(num_maps)
+        ]
+        rt.wait(map_refs, num_returns=len(map_refs))
+        flush_refs = [
+            flusher.options(node=nid).remote(k)
+            for k, nid in enumerate(node_ids)
+        ]
+        rt.wait(flush_refs, num_returns=len(flush_refs))
+        rt.free(flush_refs)
+        # Planned departure after every map block reached the spill tier;
+        # under churn a replacement immediately joins.
+        rt.remove_node(victim)
+        if join:
+            rt.add_node()
+        reduce_refs = [
+            reducer.remote(map_refs[2 * r], map_refs[2 * r + 1])
+            for r in range(num_maps // 2)
+        ]
+        return rt.get(reduce_refs)
+
+    results = driver_results = rt.run(driver)
+    expected = [
+        (2 * r) % 251 + (2 * r + 1) % 251 + 2 * BLOB_MB * MB
+        for r in range(num_maps // 2)
+    ]
+    return {
+        "backend": spill_backend,
+        "seconds": rt.env.now,
+        "reconstructions": rt.counters.get("lineage_reconstructions"),
+        "resubmitted": rt.counters.get("tasks_resubmitted"),
+        "shared_gb_read": rt.counters.get("shared_bytes_read") / 1e9,
+        "spill_gb_written": rt.counters.get("spill_bytes_written") / 1e9,
+        "correct": results == expected,
+        "runtime": rt,
+        "results": driver_results,
+    }
+
+
+def _run_figure(maps_per_node: int = MAPS_PER_NODE):
+    table = ResultTable(
+        "Elastic churn: spill-tier durability across a planned departure",
+        [
+            "backend", "seconds", "reconstructions", "resubmitted",
+            "shared_gb_read", "spill_gb_written", "correct",
+        ],
+    )
+    for backend in ("local", "shared"):
+        metrics = run_churn_shuffle(backend, maps_per_node=maps_per_node)
+        metrics.pop("runtime")
+        metrics.pop("results")
+        table.add_row(**metrics)
+    return table
+
+
+def assert_durability_split(table: ResultTable) -> None:
+    """The figure's claim: shared tier zeroes out churn recomputes."""
+    local = table.find(backend="local")
+    shared = table.find(backend="shared")
+    assert local["correct"] and shared["correct"]
+    assert local["reconstructions"] > 0, (
+        "local-disk arm lost spilled blocks with the node; expected "
+        "lineage recomputes"
+    )
+    assert shared["reconstructions"] == 0, (
+        "shared-store arm must restore spilled blocks without recompute"
+    )
+    assert shared["shared_gb_read"] > 0
+
+
+@pytest.mark.benchmark(group="elasticity")
+def test_elastic_churn_durability(benchmark):
+    table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
+    finish_bench("elastic_churn", table, benchmark=benchmark)
+    assert_durability_split(table)
+
+
+def main(argv=None) -> int:
+    """``python benchmarks/bench_elastic_churn.py [--smoke]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced-size run; exit nonzero unless the shared arm shows "
+        "zero lineage recomputes and the local arm shows > 0",
+    )
+    args = parser.parse_args(argv)
+    maps = 3 if args.smoke else MAPS_PER_NODE
+    table = _run_figure(maps_per_node=maps)
+    print(table.render())
+    try:
+        assert_durability_split(table)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print("elastic churn smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,9 @@ class ChaosInjector:
                 lambda: self._log(fault.kind, victim_id),
             )
             return
+        if fault.kind is FaultKind.NODE_JOIN:
+            self.env.call_later(fault.at_time, lambda: self._join(fault))
+            return
         victim_index = self.plan.resolve_victim(index, fault, num_nodes)
         node = self.cluster.nodes[victim_index]
         if fault.kind is FaultKind.NODE_CRASH:
@@ -104,6 +107,10 @@ class ChaosInjector:
             self.env.call_later(
                 fault.at_time, lambda: self._lose_objects(index, fault, node)
             )
+        elif fault.kind is FaultKind.NODE_DRAIN:
+            self.env.call_later(fault.at_time, lambda: self._drain(fault, node))
+        elif fault.kind is FaultKind.NODE_REMOVE:
+            self.env.call_later(fault.at_time, lambda: self._remove(fault, node))
         else:  # pragma: no cover - exhaustive over FaultKind
             raise ValueError(f"unhandled fault kind {fault.kind}")
 
@@ -139,6 +146,45 @@ class ChaosInjector:
     def _restart(self, node: "Node") -> None:
         node.restart()
         self.runtime.bus.emit("node.restart", node=node.node_id)
+
+    # -- churn actions (cluster elasticity) -----------------------------------
+    def _join(self, fault: FaultSpec) -> None:
+        """A fresh node joins the running cluster (elastic scale-up)."""
+        node_id = self.runtime.add_node()
+        self._log(fault.kind, node_id)
+
+    def _drain(self, fault: FaultSpec, node: "Node") -> None:
+        """Drain the victim now; remove it when the window closes.
+
+        If the victim is no longer active (a colliding fault already
+        retired it), the fault fires as a logged no-op -- random plans
+        may overlap churn on one node, and half-applying a transition
+        would be worse than skipping it.
+        """
+        event = self._log(fault.kind, node.node_id)
+        seq = getattr(event, "seq", None)
+        runtime = self.runtime
+        if not runtime.membership.is_active(node.node_id):
+            return
+        runtime.drain_node(node.node_id)
+
+        def finish() -> None:
+            if runtime.membership.is_draining(node.node_id):
+                runtime.remove_node(node.node_id, cause=seq)
+
+        self.env.call_later(fault.duration, finish)
+
+    def _remove(self, fault: FaultSpec, node: "Node") -> None:
+        """Remove the victim immediately (planned departure).
+
+        Like :meth:`_drain`, a victim that already departed makes the
+        fault a logged no-op.
+        """
+        event = self._log(fault.kind, node.node_id)
+        runtime = self.runtime
+        if runtime.membership.is_removed(node.node_id):
+            return
+        runtime.remove_node(node.node_id, cause=getattr(event, "seq", None))
 
     def _set_link(self, a: "Node", b: "Node", down: bool) -> None:
         # The fault models a broken cable: both directions go together.

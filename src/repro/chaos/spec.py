@@ -57,9 +57,32 @@ class FaultKind(enum.Enum):
     #: with ``node_index=None`` it applies cluster-wide.
     STRAGGLER = "straggler"
 
+    #: Cluster churn: a fresh node joins mid-run (elastic scale-up).
+    #: Takes no victim -- ``node_index`` must stay ``None``.
+    NODE_JOIN = "node_join"
+
+    #: Cluster churn: the victim drains (no new placements) at onset and
+    #: is removed ``duration`` seconds later if still draining --
+    #: a graceful scale-down under deadline.
+    NODE_DRAIN = "node_drain"
+
+    #: Cluster churn: the victim is removed immediately -- a *planned*
+    #: departure (interrupted work resubmits at once, no heartbeat
+    #: detection delay), unlike ``NODE_CRASH``.  Local store and spill
+    #: contents are still lost with the node.
+    NODE_REMOVE = "node_remove"
+
 
 #: Fault kinds whose ``severity`` is a slowdown/dilation factor (> 1).
 _FACTOR_KINDS = (FaultKind.SLOW_NODE, FaultKind.DISK_STALL, FaultKind.NET_DEGRADE)
+
+#: Fault kinds that select no random victim (STRAGGLER may apply
+#: cluster-wide; NODE_JOIN adds a node instead of picking one).
+_VICTIMLESS_KINDS = (FaultKind.STRAGGLER, FaultKind.NODE_JOIN)
+
+#: Churn kinds that retire their victim; node 0 hosts the driver by
+#: convention and may never be drained or removed.
+_DEPARTURE_KINDS = (FaultKind.NODE_DRAIN, FaultKind.NODE_REMOVE)
 
 
 @dataclass(frozen=True)
@@ -98,10 +121,16 @@ class FaultSpec:
         if (
             self.node_index is None
             and num_nodes < 2
-            and self.kind is not FaultKind.STRAGGLER
+            and self.kind not in _VICTIMLESS_KINDS
         ):
             raise ValueError(
                 f"{self.kind.value}: random victim selection needs >= 2 nodes"
+            )
+        if self.kind is FaultKind.NODE_JOIN and self.node_index is not None:
+            raise ValueError("node_join: takes no victim; node_index must be None")
+        if self.kind in _DEPARTURE_KINDS and self.node_index == 0:
+            raise ValueError(
+                f"{self.kind.value}: node 0 hosts the driver and cannot depart"
             )
         if self.kind in _FACTOR_KINDS and self.severity <= 1.0:
             raise ValueError(
@@ -172,5 +201,8 @@ def matrix_plan(kind: FaultKind, *, at_time: float = 1.0, seed: int = 0) -> Chao
         FaultKind.STRAGGLER: FaultSpec(
             kind, at_time=0.0, duration=60.0, severity=1.5, probability=0.3
         ),
+        FaultKind.NODE_JOIN: FaultSpec(kind, at_time=at_time),
+        FaultKind.NODE_DRAIN: FaultSpec(kind, at_time=at_time, duration=4.0),
+        FaultKind.NODE_REMOVE: FaultSpec(kind, at_time=at_time),
     }
     return ChaosPlan(faults=(presets[kind],), seed=seed)

@@ -78,6 +78,20 @@ class Cluster:
         """The nodes currently up."""
         return [node for node in self._nodes.values() if node.alive]
 
+    def add_node(self, node_spec: NodeSpec) -> Node:
+        """Provision a new node mid-run (cluster elasticity).
+
+        Mints a fresh node id from the cluster's id generator, creates
+        the node, and registers it in the fabric so transfers to and
+        from it work immediately.  The caller (the runtime's
+        ``add_node``) is responsible for the control-plane side: a node
+        manager, death listeners, and membership state.
+        """
+        node_id = self.ids.next_node_id()
+        node = Node(self.env, node_id, node_spec)
+        self._nodes[node_id] = node
+        return node
+
     def __len__(self) -> int:
         return len(self._nodes)
 

@@ -116,6 +116,25 @@ class Node:
         for listener in list(self._death_listeners):
             listener(self)
 
+    def retire(self) -> None:
+        """Take the node out of service *without* firing death listeners.
+
+        Used for planned departures (cluster membership's
+        ``remove_node``): the caller has already interrupted resident
+        work and cleaned up state, so the failure-handling listeners --
+        which would start a heartbeat-timeout recovery for an
+        *unplanned* death -- must not run.  I/O devices still fail so
+        in-flight transfers touching this node error out and retry
+        elsewhere.  Idempotent; a no-op on an already-dead node.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        error = IOError(f"node {self.node_id} retired")
+        self.disk.set_failed(error)
+        self.nic_in.set_failed(error)
+        self.nic_out.set_failed(error)
+
     def restart(self) -> None:
         """Revive the node with empty state. Idempotent while alive."""
         if self.alive:

@@ -1,0 +1,89 @@
+"""A disaggregated (remote) object store for durable spill.
+
+The paper spills to node-local disk, so a node's death loses its
+spilled shuffle blocks and recovery must re-execute lineage (§5.1.5).
+Production shuffle systems instead externalize intermediate data to a
+shared service (FuxiShuffle's shuffle workers, BlobShuffle's blob
+storage) so that node loss costs only re-reads, never recompute.
+
+:class:`SharedStoreBackend` models that tier: one cluster-wide byte
+server (a :class:`~repro.simcore.BandwidthResource` with aggregate
+bandwidth and per-request latency) plus a registry of the objects it
+holds.  It is node-agnostic by construction -- nothing here references a
+node id -- which is exactly the durability property: killing any node
+changes nothing about what the tier can serve.
+
+Writers and readers pay *both* their own NIC direction and this
+resource, so a single hot store can become the bottleneck under fan-in,
+as it does in real disaggregated deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.ids import ObjectId
+from repro.simcore import BandwidthResource, Environment, Event
+
+
+class SharedStoreBackend:
+    """The simulated remote spill tier: bandwidth, latency, contents."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_bytes_per_sec: float,
+        per_op_latency_s: float = 0.0,
+        name: str = "shared-store",
+    ) -> None:
+        self.env = env
+        #: The tier's aggregate byte server; every read and write queues
+        #: here, so concurrent spills from many nodes contend.
+        self.resource = BandwidthResource(
+            env,
+            bandwidth_bytes_per_sec,
+            per_op_latency=per_op_latency_s,
+            name=name,
+        )
+        self._objects: Dict[ObjectId, int] = {}
+        #: Total bytes ever written into the tier.
+        self.bytes_written = 0
+        #: Total bytes ever served back out of the tier.
+        self.bytes_read = 0
+
+    # -- contents -------------------------------------------------------------
+    def contains(self, object_id: ObjectId) -> bool:
+        """True while the tier holds a copy of the object."""
+        return object_id in self._objects
+
+    def size_of(self, object_id: ObjectId) -> int:
+        """Stored size of an object the tier holds (KeyError if absent)."""
+        return self._objects[object_id]
+
+    def objects(self) -> List[ObjectId]:
+        """Object ids currently held, in insertion order."""
+        return list(self._objects)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently held across all objects."""
+        return sum(self._objects.values())
+
+    def add(self, object_id: ObjectId, size: int) -> None:
+        """Record an object whose write has completed."""
+        self._objects[object_id] = size
+
+    def forget(self, object_id: ObjectId) -> None:
+        """Drop an object (its cluster-wide refcount hit zero)."""
+        self._objects.pop(object_id, None)
+
+    # -- I/O -----------------------------------------------------------------
+    def write(self, nbytes: int) -> Event:
+        """Charge one write of ``nbytes`` through the tier's resource."""
+        self.bytes_written += nbytes
+        return self.resource.transfer(nbytes)
+
+    def read(self, nbytes: int) -> Event:
+        """Charge one read of ``nbytes`` through the tier's resource."""
+        self.bytes_read += nbytes
+        return self.resource.transfer(nbytes)

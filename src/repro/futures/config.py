@@ -113,6 +113,46 @@ class RuntimeConfig:
     #: dispatch policies (fair sharing).
     fair_share_slots_per_core: float = 1.0
 
+    #: Registry name of the autoscale policy.  ``"none"`` (the default)
+    #: never changes the cluster; ``"threshold"`` grows under allocation
+    #: and dispatch queue pressure and shrinks when idle, between
+    #: ``autoscale_min_nodes`` and ``autoscale_max_nodes``.
+    autoscale_policy: str = "none"
+
+    # -- elasticity ----------------------------------------------------------
+    #: Lower bound on cluster size the autoscaler may shrink to.
+    autoscale_min_nodes: int = 1
+
+    #: Upper bound on cluster size the autoscaler may grow to.  0 means
+    #: "the size the cluster was created with" (no growth).
+    autoscale_max_nodes: int = 0
+
+    #: Queued work per available task slot above which the threshold
+    #: autoscaler requests growth.
+    autoscale_grow_pressure: float = 2.0
+
+    #: Queued work per available task slot below which the threshold
+    #: autoscaler drains an idle node (0 shrinks only when fully idle).
+    autoscale_shrink_pressure: float = 0.0
+
+    #: Minimum simulated seconds between autoscaling decisions, so one
+    #: pressure spike does not add a node per queued task.
+    autoscale_interval_s: float = 5.0
+
+    # -- spill backend --------------------------------------------------------
+    #: Where spilled objects live: ``"local"`` writes to the owning
+    #: node's disk (lost with the node, as in the paper); ``"shared"``
+    #: writes through a disaggregated store so spilled bytes survive
+    #: node loss without lineage recompute.
+    spill_backend: str = "local"
+
+    #: Aggregate bandwidth of the shared spill store, bytes/second.
+    shared_store_bandwidth_bytes_per_sec: float = 1000 * MB
+
+    #: Per-operation latency of the shared spill store, seconds (models
+    #: the request round-trip of a remote blob/object service).
+    shared_store_latency_s: float = 10e-3
+
     # -- misc -----------------------------------------------------------------
     #: Root seed for any stochastic runtime behaviour (tie-breaking).
     seed: int = 0
@@ -137,8 +177,32 @@ class RuntimeConfig:
             "memory_policy",
             "spill_policy",
             "dispatch_policy",
+            "autoscale_policy",
         ):
             if not getattr(self, kind_field):
                 raise ValueError(f"{kind_field} must be a non-empty name")
         if self.fair_share_slots_per_core <= 0:
             raise ValueError("fair_share_slots_per_core must be positive")
+        if self.autoscale_min_nodes < 1:
+            raise ValueError("autoscale_min_nodes must be >= 1")
+        if self.autoscale_max_nodes < 0:
+            raise ValueError("autoscale_max_nodes must be >= 0")
+        if (
+            self.autoscale_max_nodes
+            and self.autoscale_max_nodes < self.autoscale_min_nodes
+        ):
+            raise ValueError("autoscale_max_nodes must be >= autoscale_min_nodes")
+        if self.autoscale_grow_pressure <= self.autoscale_shrink_pressure:
+            raise ValueError(
+                "autoscale_grow_pressure must exceed autoscale_shrink_pressure"
+            )
+        if self.autoscale_shrink_pressure < 0:
+            raise ValueError("autoscale_shrink_pressure must be non-negative")
+        if self.autoscale_interval_s < 0:
+            raise ValueError("autoscale_interval_s must be non-negative")
+        if self.spill_backend not in ("local", "shared"):
+            raise ValueError("spill_backend must be 'local' or 'shared'")
+        if self.shared_store_bandwidth_bytes_per_sec <= 0:
+            raise ValueError("shared store bandwidth must be positive")
+        if self.shared_store_latency_s < 0:
+            raise ValueError("shared store latency must be non-negative")

@@ -10,6 +10,8 @@ Location state per object:
 - ``memory_nodes`` -- nodes holding an in-memory copy in their store.
 - ``spill_nodes`` -- nodes holding an on-disk (spilled) copy; the mapped
   value is the spill manager's slot handle, opaque to the directory.
+- ``shared`` -- the disaggregated spill tier holds a copy (node-agnostic:
+  it survives any node's death).
 
 An object is *created* once its task has stored it at least once, and
 *available* while any copy survives.  Created-but-unavailable objects are
@@ -34,6 +36,7 @@ class ObjectRecord:
         "error",
         "memory_nodes",
         "spill_nodes",
+        "shared",
     )
 
     def __init__(self, creator: Optional[TaskId]) -> None:
@@ -44,14 +47,19 @@ class ObjectRecord:
         self.error: Optional[BaseException] = None
         self.memory_nodes: Set[NodeId] = set()
         self.spill_nodes: Dict[NodeId, Any] = {}
+        self.shared = False
 
     @property
     def available(self) -> bool:
-        return self.created and bool(self.memory_nodes or self.spill_nodes)
+        return self.created and bool(
+            self.memory_nodes or self.spill_nodes or self.shared
+        )
 
     @property
     def lost(self) -> bool:
-        return self.created and not (self.memory_nodes or self.spill_nodes)
+        return self.created and not (
+            self.memory_nodes or self.spill_nodes or self.shared
+        )
 
 
 class ObjectDirectory:
@@ -131,7 +139,8 @@ class ObjectDirectory:
         return record is not None and record.created
 
     def is_available(self, object_id: ObjectId) -> bool:
-        """True while at least one copy (memory or disk) survives."""
+        """True while at least one copy (memory, disk, or the shared
+        tier) survives."""
         record = self._records.get(object_id)
         return record is not None and record.available
 
@@ -179,6 +188,24 @@ class ObjectDirectory:
         record = self._records.get(object_id)
         if record is not None:
             record.spill_nodes.pop(node_id, None)
+
+    def add_shared_location(self, object_id: ObjectId) -> None:
+        """Record a copy in the disaggregated spill tier (no-op if
+        unknown)."""
+        record = self._records.get(object_id)
+        if record is not None:
+            record.shared = True
+
+    def remove_shared_location(self, object_id: ObjectId) -> None:
+        """Forget the disaggregated-tier copy (no-op if unknown)."""
+        record = self._records.get(object_id)
+        if record is not None:
+            record.shared = False
+
+    def is_shared(self, object_id: ObjectId) -> bool:
+        """True while the disaggregated spill tier holds a copy."""
+        record = self._records.get(object_id)
+        return record is not None and record.shared
 
     def locations(self, object_id: ObjectId) -> Set[NodeId]:
         """All nodes holding any copy of the object."""

@@ -137,6 +137,10 @@ class LineageManager:
             )
             return
         runtime.charge_task(spec.options, "tasks_resubmitted", 1)
+        # A reconstructed task re-enters flight (autoscale pressure);
+        # interrupted casualties never left it, and the guard makes this
+        # a no-op for them.
+        runtime._note_task_inflight(record)
         if cause is None and record.assigned_node is not None:
             cause = self._last_fault_event.get(record.assigned_node)
         runtime.bus.emit(
@@ -232,6 +236,11 @@ class LineageManager:
             if not runtime.config.enable_lineage_reconstruction:
                 return event.fail(ObjectLostError(object_id, "unreconstructable"))
             runtime.directory.mark_uncreated(object_id)
+            # This is a true lineage *recompute* (re-running a finished
+            # creator because no copy survives), counted separately from
+            # interrupted-task resubmits -- the disaggregated spill tier
+            # exists precisely to drive this number to zero.
+            runtime.counters.add("lineage_reconstructions", 1)
             self.resubmit(
                 creator, cause=self._object_fault_causes.pop(object_id, None)
             )

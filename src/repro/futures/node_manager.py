@@ -74,6 +74,9 @@ class NodeManager:
             bus=runtime.bus,
             policy=runtime.policies.spill,
         )
+        # Attach the disaggregated spill tier (None under the default
+        # local backend, which keeps seed behaviour byte-for-byte).
+        self.spill.shared = runtime.shared_store
         self.pending_tasks = 0
         self._fetch_sem = Resource(
             self.env,
@@ -383,6 +386,17 @@ class NodeManager:
                 if nid != self.node_id and runtime.node_managers[nid].node.alive
             )
             if not memory_sources and not spill_sources:
+                shared = self.spill.shared
+                if shared is not None and shared.contains(object_id):
+                    # The disaggregated spill tier holds the only copy --
+                    # the durability win: read it back instead of waiting
+                    # for lineage to re-execute the creator.
+                    holds_pin = yield from self._fetch_shared(
+                        object_id, record.size
+                    )
+                    if holds_pin is not None:
+                        return holds_pin
+                    continue
                 # No *alive* copy: wait for (re)creation.  The directory
                 # may still claim stale locations on dead-but-undetected
                 # nodes (making ensure_available a no-op), so back off and
@@ -444,6 +458,37 @@ class NodeManager:
             runtime.counters.add("fetched_objects", 1)
             return False
         raise ObjectLostError(object_id, "fetch retries exhausted")
+
+    def _fetch_shared(self, object_id: ObjectId, size: int) -> Iterator[Event]:
+        """Read one object back from the shared spill tier.
+
+        Returns True (pinned in local memory), False (granted on local
+        disk by the fallback valve), or None (failed mid-read; the
+        caller's retry loop re-checks sources).
+        """
+        runtime = self.runtime
+        placement = None
+        try:
+            # Pinned for the duration of the read, like a remote fetch.
+            allocation = self.store.allocate(
+                object_id, size, primary=False, pin=True
+            )
+            placement = yield allocation
+            if placement == "resident":
+                return True  # appeared meanwhile; allocate pinned it
+            yield self.spill.shared_restore_read(object_id)
+        except (NodeFailure, IOError):
+            if placement == "memory":
+                self.store.free(object_id)
+            yield self.env.timeout(runtime.config.fetch_retry_backoff_s)
+            return None
+        if placement == "memory":
+            runtime.directory.add_memory_location(object_id, self.node_id)
+            runtime.counters.add("fetched_objects", 1)
+            return True
+        # Disk-fallback grant: the bytes landed on our local disk.
+        runtime.counters.add("fetched_objects", 1)
+        return False
 
     def _materialize_args(self, spec: TaskSpec) -> List[Any]:
         payloads = self.runtime.payloads

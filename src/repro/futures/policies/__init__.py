@@ -9,7 +9,9 @@ registry entries selected through ``RuntimeConfig``:
 - :class:`MemoryPolicy` -- cached-copy eviction order and allocation
   queue admission;
 - :class:`SpillPolicy` -- victim selection, target sizing, write fusing;
-- :class:`DispatchPolicy` -- FIFO vs weighted virtual-time fair sharing.
+- :class:`DispatchPolicy` -- FIFO vs weighted virtual-time fair sharing;
+- :class:`AutoscalePolicy` -- when the cluster grows or shrinks between
+  configured bounds (``"none"`` holds the seed fixed-shape behaviour).
 
 This package is pure by construction: it imports only task/ref/id value
 types (enforced by ``tools/check_layering.py``), so policies can be
@@ -20,6 +22,9 @@ table and how to add a policy.
 
 from repro.futures.policies.base import (
     AllocationView,
+    AutoscaleDecision,
+    AutoscalePolicy,
+    AutoscaleView,
     CachedCopyView,
     DispatchContext,
     DispatchOutcome,
@@ -44,8 +49,10 @@ from repro.futures.policies.defaults import (
     LeastLoadedStage,
     LocalityStage,
     NewestFirstMemoryPolicy,
+    NoAutoscalePolicy,
     RandomStage,
     StagedPlacementPolicy,
+    ThresholdAutoscalePolicy,
 )
 from repro.futures.policies.registry import (
     POLICY_KINDS,
@@ -72,6 +79,9 @@ __all__ = [
     "DispatchContext",
     "DispatchOutcome",
     "ParkNote",
+    "AutoscalePolicy",
+    "AutoscaleView",
+    "AutoscaleDecision",
     # defaults
     "StagedPlacementPolicy",
     "BlacklistStage",
@@ -84,6 +94,8 @@ __all__ = [
     "FusedSpillPolicy",
     "FifoDispatchPolicy",
     "FairShareDispatchPolicy",
+    "NoAutoscalePolicy",
+    "ThresholdAutoscalePolicy",
     # registry
     "POLICY_KINDS",
     "PolicyStack",

@@ -27,14 +27,21 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.futures.policies import defaults
 from repro.futures.policies.base import (
+    AutoscalePolicy,
     DispatchPolicy,
     MemoryPolicy,
     PlacementPolicy,
     SpillPolicy,
 )
 
-#: The four pluggable decision points of the data plane.
-POLICY_KINDS: Tuple[str, ...] = ("placement", "memory", "spill", "dispatch")
+#: The five pluggable decision points of the data plane.
+POLICY_KINDS: Tuple[str, ...] = (
+    "placement",
+    "memory",
+    "spill",
+    "dispatch",
+    "autoscale",
+)
 
 #: A policy factory: config in (duck typed), policy instance out.
 PolicyFactory = Callable[[Any], Any]
@@ -80,6 +87,7 @@ class PolicyStack:
     memory: MemoryPolicy
     spill: SpillPolicy
     dispatch: DispatchPolicy
+    autoscale: AutoscalePolicy
 
 
 def resolve_policies(config: Any) -> PolicyStack:
@@ -102,6 +110,9 @@ def resolve_policies(config: Any) -> PolicyStack:
         ),
         dispatch=create_policy(
             "dispatch", getattr(config, "dispatch_policy", "fifo"), config
+        ),
+        autoscale=create_policy(
+            "autoscale", getattr(config, "autoscale_policy", "none"), config
         ),
     )
 
@@ -155,6 +166,13 @@ def _fair_share_dispatch(config: Any) -> defaults.FairShareDispatchPolicy:
     )
 
 
+def _threshold_autoscale(config: Any) -> defaults.ThresholdAutoscalePolicy:
+    return defaults.ThresholdAutoscalePolicy(
+        grow_pressure=getattr(config, "autoscale_grow_pressure", 2.0),
+        shrink_pressure=getattr(config, "autoscale_shrink_pressure", 0.0),
+    )
+
+
 register_policy("placement", "default", _default_placement)
 register_policy("placement", "load-only", _load_only_placement)
 register_policy("placement", "random", _random_placement)
@@ -170,3 +188,7 @@ register_policy(
     "dispatch", "fifo", lambda config: defaults.FifoDispatchPolicy()
 )
 register_policy("dispatch", "fair-share", _fair_share_dispatch)
+register_policy(
+    "autoscale", "none", lambda config: defaults.NoAutoscalePolicy()
+)
+register_policy("autoscale", "threshold", _threshold_autoscale)

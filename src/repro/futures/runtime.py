@@ -33,6 +33,8 @@ from typing import (
 )
 
 from repro.cluster.fabric import Cluster
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.shared_store import SharedStoreBackend
 from repro.cluster.specs import ClusterSpec, NodeSpec
 from repro.common.errors import ObjectLostError
 from repro.common.ids import IdGenerator, NodeId, ObjectId, TaskId
@@ -111,6 +113,29 @@ class Runtime:
         #: block a pending consumer is about to read forces an immediate
         #: restore (write + read for nothing).
         self._pending_consumers: Dict[ObjectId, int] = {}
+        #: The disaggregated spill tier (``spill_backend="shared"``);
+        #: None keeps the paper's node-local spill behaviour.
+        self.shared_store: Optional[SharedStoreBackend] = None
+        if self.config.spill_backend == "shared":
+            self.shared_store = SharedStoreBackend(
+                self.env,
+                self.config.shared_store_bandwidth_bytes_per_sec,
+                per_op_latency_s=self.config.shared_store_latency_s,
+            )
+        #: Mid-run cluster elasticity: per-node lifecycle state (active /
+        #: draining / removed) behind :meth:`add_node` /
+        #: :meth:`drain_node` / :meth:`remove_node`.
+        self.membership = ClusterMembership(cluster.node_ids)
+        #: Cluster size at construction; the autoscaler's default growth
+        #: ceiling when ``autoscale_max_nodes`` is 0.
+        self._initial_node_count = len(cluster)
+        #: Submitted-but-unfinished tasks, cluster-wide (autoscale input).
+        self._inflight_tasks = 0
+        #: Whether an autoscale decision point is already scheduled; the
+        #: flag debounces ticks so at most one timer is pending.  Never
+        #: set while ``autoscale_policy == "none"``, so static runs
+        #: schedule no extra simulation events at all.
+        self._autoscaler_armed = False
         self.node_managers: Dict[NodeId, NodeManager] = {}
         for node in cluster:
             manager = NodeManager(self, node)
@@ -262,6 +287,7 @@ class Runtime:
             self._object_creator[oid] = task_id
         refs = [make_ref(self, oid) for oid in return_ids]
         self.charge_task(options, "tasks_submitted", 1)
+        self._note_task_inflight(record)
         self.bus.emit(
             "task.submit",
             task=task_id,
@@ -318,6 +344,7 @@ class Runtime:
     # -- task completion callbacks (from NodeManager) -------------------------
     def task_finished(self, record: TaskRecord) -> None:
         """NodeManager callback: release the finished task's argument refs."""
+        self._note_task_settled(record)
         if record.counted:
             record.counted = False
             self._count_consumers(record, -1)
@@ -328,6 +355,7 @@ class Runtime:
 
     def task_failed(self, record: TaskRecord, error: BaseException) -> None:
         """NodeManager callback: mark returns failed, release arguments."""
+        self._note_task_settled(record)
         record.phase = TaskPhase.FAILED
         record.finished_at = self.env.now
         if record.counted:
@@ -400,6 +428,8 @@ class Runtime:
             manager = self.node_managers.get(node_id)
             if manager is not None:
                 manager.spill.forget(object_id)
+        if record.shared and self.shared_store is not None:
+            self.shared_store.forget(object_id)
         self.payloads.pop(object_id, None)
         self.directory.drop(object_id)
         self.counters.add("objects_evicted", 1)
@@ -445,6 +475,214 @@ class Runtime:
         (triggering lineage reconstruction for lost objects; see
         :meth:`LineageManager.ensure_available`)."""
         return self.lineage.ensure_available(object_id)
+
+    # -- cluster elasticity ---------------------------------------------------
+    def _note_task_inflight(self, record: TaskRecord) -> None:
+        """A task entered (or re-entered) flight: count it toward
+        autoscale pressure and make sure a decision point is pending.
+        Guarded by ``record.in_flight`` so each live episode counts
+        exactly once."""
+        if not record.in_flight:
+            record.in_flight = True
+            self._inflight_tasks += 1
+        self._maybe_arm_autoscaler()
+
+    def _note_task_settled(self, record: TaskRecord) -> None:
+        """A task reached a terminal phase: stop counting it."""
+        if record.in_flight:
+            record.in_flight = False
+            self._inflight_tasks -= 1
+
+    def add_node(self, node_spec: Optional[NodeSpec] = None) -> NodeId:
+        """Join a new node to the running cluster (elastic scale-up).
+
+        Provisions the node in the fabric, builds its manager, registers
+        the usual death handling, and announces the join on the event
+        bus.  The scheduler sees the node as a placement candidate from
+        the next dependency-ready task onward.  Defaults to the spec of
+        the cluster's first founding node (homogeneous growth).
+        """
+        spec = node_spec or self.cluster.spec.nodes[0]
+        node = self.cluster.add_node(spec)
+        manager = NodeManager(self, node)
+        self.node_managers[node.node_id] = manager
+        node.on_death(self.lineage.on_node_death)
+        self.membership.add(node.node_id)
+        self.counters.add("nodes_added", 1)
+        self.bus.emit(
+            "cluster.membership",
+            node=node.node_id,
+            action="join",
+            active=self.membership.active_count(),
+        )
+        return node.node_id
+
+    def drain_node(self, node_id: NodeId) -> None:
+        """Begin a graceful departure: the node finishes what it is
+        running but receives no new placements (it behaves like a
+        blacklisted node).  The autoscaler -- or an explicit
+        :meth:`remove_node` call -- completes the departure once the
+        node is idle.  The driver node may never drain."""
+        if node_id == self.driver_node_id:
+            raise ValueError("cannot drain the driver node")
+        self.membership.drain(node_id)
+        self.counters.add("nodes_drained", 1)
+        self.bus.emit(
+            "cluster.membership",
+            node=node_id,
+            action="drain",
+            active=self.membership.active_count(),
+        )
+
+    def remove_node(
+        self, node_id: NodeId, cause: Optional[int] = None
+    ) -> None:
+        """Complete a node's departure (from active or draining).
+
+        This is a *planned* removal, unlike a crash: resident work is
+        interrupted and resubmitted immediately, and directory metadata
+        is cleaned right away -- there is no heartbeat-timeout detection
+        delay and no scheduler blacklisting.  Objects whose only copies
+        lived here become reconstruction work for the lineage manager,
+        unless the shared spill tier still holds them
+        (``spill_backend="shared"``), in which case consumers simply
+        read them back.  ``cause`` optionally links the ensuing retry
+        events to a triggering fault/chaos event.
+        """
+        if node_id == self.driver_node_id:
+            raise ValueError("cannot remove the driver node")
+        manager = self.node_managers[node_id]
+        self.membership.remove(node_id)
+        casualties = manager.kill()
+        lost_objects = self.directory_objects_on(node_id)
+        # Planned departure: no death listeners, no detection delay.
+        manager.node.retire()
+        departure = self.bus.emit(
+            "cluster.membership",
+            node=node_id,
+            action="remove",
+            cause=cause,
+            casualties=len(casualties),
+            lost_objects=len(lost_objects),
+            active=self.membership.active_count(),
+        )
+        seq = departure.seq if departure is not None else cause
+        self.lineage.note_node_fault_event(node_id, seq)
+        self.counters.add("nodes_removed", 1)
+        for oid in lost_objects:
+            self.directory.remove_memory_location(oid, node_id)
+            self.directory.remove_spill_location(oid, node_id)
+            self.maybe_drop_payload(oid)
+
+        def requeue() -> None:
+            # After the interrupts have unwound the dying task processes.
+            for record in casualties:
+                if record.phase not in (TaskPhase.FINISHED, TaskPhase.FAILED):
+                    self.lineage.resubmit(record, cause=seq)
+
+        self.env.call_later(0.0, requeue)
+
+    def _maybe_arm_autoscaler(self) -> None:
+        """Schedule one autoscale decision point, if none is pending.
+
+        A no-op under ``autoscale_policy="none"`` -- the elasticity plane
+        then adds zero simulation events, keeping static runs
+        event-for-event identical to the seed (pinned by the golden
+        digest tests).
+        """
+        if self._autoscaler_armed:
+            return
+        if self.policies.autoscale.name == "none":
+            return
+        self._autoscaler_armed = True
+        self.env.call_later(
+            self.config.autoscale_interval_s, self._autoscale_tick
+        )
+
+    def _autoscale_view(self) -> "AutoscaleView":
+        """Aggregate cluster pressure for the autoscale policy."""
+        from repro.futures.policies.base import AutoscaleView
+
+        queued_allocations = sum(
+            manager.store.backlog
+            for node_id, manager in self.node_managers.items()
+            if self.membership.is_active(node_id) and manager.node.alive
+        )
+        return AutoscaleView(
+            now=self.env.now,
+            active_nodes=self.membership.active_count(),
+            draining_nodes=self.membership.draining_count(),
+            pending_tasks=max(0, self._inflight_tasks),
+            queued_allocations=queued_allocations,
+            total_slots=self.scheduler.total_slots,
+            min_nodes=self.config.autoscale_min_nodes,
+            max_nodes=self.config.autoscale_max_nodes
+            or self._initial_node_count,
+        )
+
+    def _autoscale_tick(self) -> None:
+        """One debounced autoscale decision point.
+
+        Completes pending drains whose nodes went idle, asks the policy
+        to grow/shrink/hold, enacts the answer, and re-arms while work
+        (or a drain) is still outstanding -- so the timer chain always
+        terminates and ``env.run()`` can drain the event queue.
+        """
+        self._autoscaler_armed = False
+        self._complete_drains()
+        view = self._autoscale_view()
+        decision = self.policies.autoscale.decide(view)
+        if decision.action not in ("grow", "shrink", "hold"):
+            raise ValueError(
+                f"autoscale policy returned unknown action {decision.action!r}"
+            )
+        if decision.action != "hold":
+            self.bus.emit(
+                "policy.decision",
+                policy=f"autoscale:{self.policies.autoscale.name}",
+                decision=decision.action,
+                count=decision.count,
+                reason=decision.reason,
+            )
+        if decision.action == "grow":
+            for _ in range(max(1, decision.count)):
+                self.add_node()
+        elif decision.action == "shrink":
+            for _ in range(max(1, decision.count)):
+                victim = self._pick_drain_victim()
+                if victim is None:
+                    break
+                self.drain_node(victim)
+        if self._inflight_tasks > 0 or self.membership.draining_count() > 0:
+            self._maybe_arm_autoscaler()
+
+    def _complete_drains(self) -> None:
+        """Remove draining nodes that have finished their resident work."""
+        for node_id in self.membership.draining_nodes():
+            manager = self.node_managers[node_id]
+            if manager.pending_tasks == 0:
+                self.remove_node(node_id)
+
+    def _pick_drain_victim(self) -> Optional[NodeId]:
+        """The active non-driver node to drain on a shrink decision:
+        fewest pending tasks, newest first on ties (scale-in releases
+        the most recently added capacity, like cloud autoscalers)."""
+        candidates = [
+            node_id
+            for node_id in self.membership.active_nodes()
+            if node_id != self.driver_node_id
+            and self.node_managers[node_id].node.alive
+        ]
+        if not candidates:
+            return None
+        order = {node_id: i for i, node_id in enumerate(self.node_managers)}
+        return min(
+            candidates,
+            key=lambda nid: (
+                self.node_managers[nid].pending_tasks,
+                -order[nid],
+            ),
+        )
 
     # -- driver-facing blocking API ------------------------------------------
     def run(self, fn: Any, *args: Any, **kwargs: Any) -> Any:

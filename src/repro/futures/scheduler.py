@@ -79,10 +79,11 @@ class Scheduler:
     def total_slots(self) -> int:
         """The dispatch budget: alive cores times the policy's
         slots-per-core (1.0 for policies without the knob)."""
+        membership = self.runtime.membership
         cores = sum(
             manager.node.spec.cores
-            for manager in self.runtime.node_managers.values()
-            if manager.node.alive
+            for node_id, manager in self.runtime.node_managers.items()
+            if manager.node.alive and membership.is_active(node_id)
         )
         per_core = getattr(self.dispatch_policy, "slots_per_core", 1.0)
         return max(1, int(cores * per_core))
@@ -226,10 +227,15 @@ class Scheduler:
         candidate per alive node (blacklist state, load, argument bytes
         resident in memory or on disk)."""
         runtime = self.runtime
+        membership = runtime.membership
+        # Removed members are out of the candidate pool entirely;
+        # draining members stay in but are flagged blacklisted, so
+        # placement avoids them yet can still fall back to them rather
+        # than fail (exactly how post-failure cooldowns behave).
         alive = {
             node_id: manager
             for node_id, manager in runtime.node_managers.items()
-            if manager.node.alive
+            if manager.node.alive and membership.schedulable(node_id)
         }
         if not alive:
             raise SchedulingError("no alive nodes to schedule on")
@@ -248,7 +254,10 @@ class Scheduler:
         candidates = tuple(
             NodeCandidate(
                 node_id=node_id,
-                blacklisted=self.is_blacklisted(node_id),
+                blacklisted=(
+                    self.is_blacklisted(node_id)
+                    or membership.is_draining(node_id)
+                ),
                 load=self._load(manager),
                 arg_bytes=bytes_by_node.get(node_id, 0),
             )

@@ -11,6 +11,14 @@ If nothing is spillable and nothing is in flight, the manager falls back
 to satisfying the oldest queued request directly on the filesystem,
 preserving liveness ("Ray falls back to allocating task output objects on
 the filesystem", §4.2.2).
+
+With ``RuntimeConfig.spill_backend = "shared"`` the spill *destination*
+changes: victim batches stream out the node's NIC into the cluster-wide
+:class:`~repro.cluster.shared_store.SharedStoreBackend` instead of onto
+the local disk, and the directory records a node-agnostic shared
+location.  Spilled bytes then survive the node's death -- recovery
+re-reads instead of re-executing lineage (see ``docs/elasticity.md``).
+The liveness fallback stays on the local filesystem under both backends.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from repro.metrics.core import Counters
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
+    from repro.cluster.shared_store import SharedStoreBackend
     from repro.futures.config import RuntimeConfig
     from repro.futures.directory import ObjectDirectory
     from repro.futures.object_store import ObjectStore
@@ -108,11 +117,22 @@ class SpillManager:
         #: Predicate marking objects that queued local tasks will consume;
         #: those are spilled only as a last resort (set by NodeManager).
         self.needed_soon = lambda oid: False
+        #: The disaggregated spill tier, set by the runtime when
+        #: ``config.spill_backend == "shared"``; None keeps the seed
+        #: local-disk behaviour byte-for-byte.
+        self.shared: Optional["SharedStoreBackend"] = None
 
     # -- queries --------------------------------------------------------------
     def is_spilled(self, object_id: ObjectId) -> bool:
         """True if this node's disk holds a copy of the object."""
         return object_id in self._slots
+
+    def _has_durable_copy(self, object_id: ObjectId) -> bool:
+        """True if a spilled copy exists locally or in the shared tier
+        (either way, dropping the memory copy loses nothing)."""
+        if object_id in self._slots:
+            return True
+        return self.shared is not None and self.shared.contains(object_id)
 
     def slot(self, object_id: ObjectId) -> SpillSlot:
         """The spill slot of a locally spilled object."""
@@ -154,7 +174,7 @@ class SpillManager:
                 object_id=oid,
                 size=size,
                 needed_soon=self.needed_soon(oid),
-                spilled=oid in self._slots,
+                spilled=self._has_durable_copy(oid),
             )
             for oid, size in self.store.spillable_entries()
         ]
@@ -193,7 +213,7 @@ class SpillManager:
     def _drop_already_spilled(self) -> bool:
         dropped = False
         for oid in self.store.objects():
-            if oid in self._slots and self.store.is_primary(oid):
+            if self._has_durable_copy(oid) and self.store.is_primary(oid):
                 self.store.demote_to_cached(oid)
                 dropped = True
         if dropped:
@@ -201,6 +221,9 @@ class SpillManager:
         return dropped
 
     def _start_spill(self, batch: List[Tuple[ObjectId, int]]) -> None:
+        if self.shared is not None:
+            self._start_spill_shared(batch)
+            return
         total = sum(size for _, size in batch)
         file = SpillFile(
             next(self._file_ids), self.node.node_id, total, len(batch)
@@ -232,6 +255,76 @@ class SpillManager:
         write.add_callback(
             lambda event: self._finish_spill(file, batch, event.ok, begin)
         )
+
+    def _start_spill_shared(self, batch: List[Tuple[ObjectId, int]]) -> None:
+        """Stream a victim batch out the NIC into the shared tier.
+
+        The write pays both the node's NIC egress and the shared store's
+        aggregate bandwidth (plus its per-request latency), whichever is
+        slower; no local disk I/O happens.
+        """
+        total = sum(size for _, size in batch)
+        file_id = next(self._file_ids)
+        for oid, _size in batch:
+            self.store.pin(oid)  # data must stay while being written
+        self._in_flight += 1
+        self.counters.add("spill_bytes_written", total)
+        self.counters.add("spill_files", 1)
+        self.counters.add("shared_bytes_written", total)
+        if self.charge is not None:
+            for oid, size in batch:
+                self.charge(oid, "spill_bytes_written", size)
+        begin = None
+        if self.bus is not None:
+            begin = self.bus.emit(
+                "spill.write.begin",
+                node=self.node.node_id,
+                bytes=total,
+                objects=len(batch),
+                file=file_id,
+                backend="shared",
+            )
+        write = self.env.all_of(
+            [self.node.nic_out.transfer(total), self.shared.write(total)]
+        )
+        write.add_callback(
+            lambda event: self._finish_spill_shared(batch, event.ok, begin)
+        )
+
+    def _finish_spill_shared(
+        self,
+        batch: List[Tuple[ObjectId, int]],
+        ok: bool,
+        begin: Optional[object] = None,
+    ) -> None:
+        for oid, _size in batch:
+            self.store.unpin(oid)
+        if self.bus is not None:
+            self.bus.emit(
+                "spill.write.end",
+                node=self.node.node_id,
+                cause=getattr(begin, "seq", None),
+                ok=ok,
+                backend="shared",
+            )
+        if not ok:
+            # The NIC died mid-write (node failure); the bytes never
+            # reached the tier, the store is being cleared by the death
+            # handler.
+            self._in_flight -= 1
+            return
+        for oid, size in batch:
+            if oid not in self.directory:
+                continue  # freed (refcount zero) while the write flew
+            self.shared.add(oid, size)
+            self.directory.add_shared_location(oid)
+            # The memory copy is no longer authoritative; free it now to
+            # relieve pressure.
+            self.directory.remove_memory_location(oid, self.node.node_id)
+            self.store.free(oid)
+        self._in_flight -= 1
+        self.store.pump()
+        self.kick()
 
     def _finish_spill(
         self,
@@ -354,6 +447,44 @@ class SpillManager:
                     node=self.node.node_id,
                     obj=object_id,
                     cause=begin_seq,
+                )
+            )
+        return read
+
+    def shared_restore_read(self, object_id: ObjectId):
+        """Charge the read bringing a shared-tier object to this node.
+
+        Pays the node's NIC ingress and the shared store's bandwidth
+        (plus its per-request latency); any node can issue this --
+        including one that never wrote the object -- which is what makes
+        the tier durable against node loss.
+        """
+        size = self.shared.size_of(object_id)
+        self.counters.add("spill_bytes_read", size)
+        self.counters.add("shared_bytes_read", size)
+        if self.charge is not None:
+            self.charge(object_id, "spill_bytes_read", size)
+        begin = None
+        if self.bus is not None:
+            begin = self.bus.emit(
+                "spill.restore.begin",
+                node=self.node.node_id,
+                obj=object_id,
+                bytes=size,
+                backend="shared",
+            )
+        read = self.env.all_of(
+            [self.node.nic_in.transfer(size), self.shared.read(size)]
+        )
+        if self.bus is not None:
+            begin_seq = getattr(begin, "seq", None)
+            read.add_callback(
+                lambda _event: self.bus.emit(
+                    "spill.restore.end",
+                    node=self.node.node_id,
+                    obj=object_id,
+                    cause=begin_seq,
+                    backend="shared",
                 )
             )
         return read

@@ -59,6 +59,11 @@ EVENT_KINDS: Dict[str, str] = {
     # nodes, executors, drivers
     "node.death": "a node died (cause: the chaos fault, when injected)",
     "node.restart": "a crashed node came back",
+    "cluster.membership": (
+        "a node's lifecycle changed (attrs: action=join/drain/remove, "
+        "active; remove adds casualties/lost_objects; cause: the "
+        "triggering fault or autoscale decision)"
+    ),
     "executor.failure": "all executors on a node were killed, store intact",
     "driver.spawn": "a subdriver started (attrs: name; job = its label)",
     "driver.finish": "a subdriver returned (attrs: ok)",

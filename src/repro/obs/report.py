@@ -15,7 +15,9 @@ renders the sections behind ``python -m repro.obs``:
 - policy decisions (per-policy counts from ``policy.decision`` events,
   with placement affinity honoured-vs-fell-through accounting);
 - the fault/retry timeline, each retry annotated with its causal chain
-  back to the fault that triggered it.
+  back to the fault that triggered it;
+- cluster churn accounting (joins / drains / removes and the lineage
+  recomputes node departures forced).
 """
 
 from __future__ import annotations
@@ -265,11 +267,14 @@ class RunReport:
         return table
 
     def fault_timeline(self) -> List[str]:
-        """Chronological fault / death / retry lines with causal chains."""
+        """Chronological fault / churn / death / retry lines with causal
+        chains (membership changes are part of the same story: a drain
+        fault causes a membership remove, which causes task retries)."""
         lines = []
         for event in self.events:
             if event.kind not in (
                 "chaos.fault",
+                "cluster.membership",
                 "node.death",
                 "node.restart",
                 "executor.failure",
@@ -281,12 +286,35 @@ class RunReport:
             if len(chain) > 1:
                 suffix = "  <= " + " <= ".join(e.kind for e in chain[1:])
             where = event.node or event.task or event.job or ""
-            detail = event.attrs.get("fault") or event.attrs.get("attempt")
+            detail = (
+                event.attrs.get("fault")
+                or event.attrs.get("action")
+                or event.attrs.get("attempt")
+            )
             detail_s = f" ({detail})" if detail is not None else ""
             lines.append(
                 f"t={event.ts:10.3f}  {event.kind:<18} {where}{detail_s}{suffix}"
             )
         return lines
+
+    def membership_summary(self) -> Dict[str, int]:
+        """Cluster-churn accounting from ``cluster.membership`` events
+        plus the lineage-recompute count the elasticity work targets
+        (``joins`` / ``drains`` / ``removes`` / ``reconstructions``)."""
+        actions = {"join": 0, "drain": 0, "remove": 0}
+        for event in self.events:
+            if event.kind != "cluster.membership":
+                continue
+            action = str(event.attrs.get("action", "?"))
+            if action in actions:
+                actions[action] += 1
+        stats = self.summary.get("stats", {})
+        return {
+            "joins": actions["join"],
+            "drains": actions["drain"],
+            "removes": actions["remove"],
+            "reconstructions": int(stats.get("lineage_reconstructions", 0)),
+        }
 
     def _chain(self, event: ObsEvent) -> List[ObsEvent]:
         chain = [event]
@@ -337,6 +365,16 @@ class RunReport:
             parts.append("")
             parts.append(
                 f"spill amplification: {amp:.3f} bytes spilled per output byte"
+            )
+        membership = self.membership_summary()
+        if membership["joins"] or membership["drains"] or membership["removes"]:
+            parts.append("")
+            parts.append(
+                "cluster churn: "
+                f"{membership['joins']} joins, "
+                f"{membership['drains']} drains, "
+                f"{membership['removes']} removes, "
+                f"{membership['reconstructions']} lineage recomputes"
             )
         timeline = self.fault_timeline()
         if timeline:

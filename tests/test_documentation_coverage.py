@@ -78,3 +78,36 @@ def test_public_items_documented(module):
     assert not undocumented, (
         f"{module.__name__}: missing docstrings on {sorted(undocumented)}"
     )
+
+
+#: Each subsystem guide that must exist under ``docs/``, with phrases it
+#: must cover and the other guides it must cross-link.
+REQUIRED_DOCS = {
+    "data_plane.md": (
+        ["spill_backend", "AutoscalePolicy"],
+        ["elasticity.md"],
+    ),
+    "chaos.md": (
+        ["node_join", "node_drain", "node_remove"],
+        ["elasticity.md"],
+    ),
+    "elasticity.md": (
+        ["ClusterMembership", "spill_backend", "threshold", "remove_node"],
+        ["chaos.md", "data_plane.md", "observability.md"],
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(REQUIRED_DOCS), ids=str)
+def test_subsystem_guide_covers_and_cross_links(name):
+    from pathlib import Path
+
+    docs_dir = Path(__file__).resolve().parent.parent / "docs"
+    path = docs_dir / name
+    assert path.is_file(), f"docs/{name} is missing"
+    text = path.read_text()
+    phrases, links = REQUIRED_DOCS[name]
+    missing = [p for p in phrases if p not in text]
+    assert not missing, f"docs/{name} does not mention {missing}"
+    unlinked = [f"]({l})" for l in links if f"]({l})" not in text]
+    assert not unlinked, f"docs/{name} is missing cross-links {unlinked}"

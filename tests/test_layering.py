@@ -48,6 +48,31 @@ def test_lint_catches_mechanism_imports(tmp_path):
                         "'repro.simcore'"]
 
 
+def test_registry_covers_every_policy_kind():
+    """All declared kinds -- autoscale included -- have a built-in."""
+    lint = _lint()
+    root = REPO / "src" / "repro" / "futures" / "policies"
+    assert lint.check_registry_coverage(root) == []
+
+
+def test_registry_coverage_catches_missing_kind(tmp_path):
+    lint = _lint()
+    (tmp_path / "registry.py").write_text(
+        textwrap.dedent(
+            """
+            POLICY_KINDS = ("placement", "autoscale")
+            def register_policy(kind, name, factory):
+                pass
+            register_policy("placement", "default", None)
+            """
+        )
+    )
+    violations = lint.check_registry_coverage(tmp_path)
+    assert len(violations) == 1 and "'autoscale'" in violations[0]
+    # A tree with a registry.py gets the coverage check from main() too.
+    assert lint.main([str(tmp_path)]) == 1
+
+
 def test_lint_main_exit_codes(tmp_path, capsys):
     lint = _lint()
     clean = tmp_path / "clean"

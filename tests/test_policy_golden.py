@@ -60,9 +60,9 @@ def digest_events(events) -> str:
     return hashlib.sha256("\n".join(lines).encode()).hexdigest()
 
 
-def _sort_run() -> str:
+def _sort_run(config: RuntimeConfig = None) -> tuple:
     """A fig4c-style fixed-seed in-memory sort with store pressure."""
-    rt = make_runtime(num_nodes=3, store_mib=256)
+    rt = make_runtime(num_nodes=3, store_mib=256, config=config)
     result = run_sort(
         rt,
         SortJobConfig(
@@ -73,7 +73,7 @@ def _sort_run() -> str:
         ),
     )
     assert result.validated
-    return digest_events(rt.bus.events)
+    return digest_events(rt.bus.events), rt
 
 
 def _chaos_run() -> str:
@@ -100,7 +100,8 @@ def _chaos_run() -> str:
 
 
 def test_sort_digest_matches_pre_refactor_behaviour():
-    assert _sort_run() == GOLDEN_SORT_DIGEST
+    digest, _rt = _sort_run()
+    assert digest == GOLDEN_SORT_DIGEST
 
 
 def test_chaos_digest_matches_pre_refactor_behaviour():
@@ -109,3 +110,21 @@ def test_chaos_digest_matches_pre_refactor_behaviour():
 
 def test_digest_is_deterministic_across_runs():
     assert _chaos_run() == _chaos_run()
+
+
+def test_elasticity_merged_but_unused_is_zero_cost():
+    """The elasticity plane is free when off: a static-shape run under
+    the *default* config (``autoscale_policy="none"``, local spill) is
+    event-for-event identical to the pre-elasticity golden stream --
+    membership tracking adds no simulation events, no bus records, and
+    no digest drift."""
+    digest, rt = _sort_run(RuntimeConfig())
+    assert digest == GOLDEN_SORT_DIGEST
+    assert not any(e.kind == "cluster.membership" for e in rt.bus.events)
+    assert rt.counters.get("nodes_added") == 0
+    assert rt.counters.get("nodes_removed") == 0
+    # Membership still *knows* the static shape, it just never acts.
+    assert rt.membership.active_count() == 3
+    assert rt.membership.snapshot() == {
+        str(nid): "active" for nid in rt.cluster.node_ids
+    }

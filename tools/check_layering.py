@@ -81,6 +81,60 @@ def check_tree(root: Path) -> List[str]:
     return violations
 
 
+def check_registry_coverage(root: Path) -> List[str]:
+    """Every declared policy kind must have >= 1 registered built-in.
+
+    Walks ``registry.py`` with :mod:`ast`, reads the ``POLICY_KINDS``
+    tuple and all module-level ``register_policy(kind, name, ...)``
+    calls, and reports kinds with no built-in.  This pins the plane's
+    completeness contract as kinds are added (the autoscale kind joined
+    placement/memory/spill/dispatch this way): a new kind without a
+    registered default would fail config resolution at runtime, so the
+    lint catches it before any test builds a Runtime.
+    """
+    registry = root / "registry.py"
+    if not registry.is_file():
+        return [f"{registry}: missing (policy registry moved?)"]
+    tree = ast.parse(registry.read_text(), filename=str(registry))
+    declared: List[str] = []
+    registered: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            if isinstance(node, ast.AnnAssign):
+                targets = [node.target.id] if isinstance(
+                    node.target, ast.Name
+                ) else []
+            else:
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+            if "POLICY_KINDS" in targets and isinstance(
+                node.value, (ast.Tuple, ast.List)
+            ):
+                declared = [
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ]
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            name = fn.id if isinstance(fn, ast.Name) else getattr(fn, "attr", "")
+            if name == "register_policy" and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    registered.append(first.value)
+    if not declared:
+        return [f"{registry}: POLICY_KINDS tuple not found"]
+    return [
+        f"{registry}: policy kind {kind!r} has no registered built-in"
+        for kind in declared
+        if kind not in registered
+    ]
+
+
 def main(argv: List[str] = None) -> int:
     """Entry point: check the tree, print violations, exit nonzero."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -89,6 +143,11 @@ def main(argv: List[str] = None) -> int:
         print(f"layering: no such tree {root}", file=sys.stderr)
         return 2
     violations = check_tree(root)
+    # Registry completeness applies to the real policy plane (or any tree
+    # that ships a registry.py); ad-hoc trees passed for import linting
+    # alone are not required to carry one.
+    if root == DEFAULT_ROOT or (root / "registry.py").is_file():
+        violations += check_registry_coverage(root)
     for violation in violations:
         print(violation)
     if violations:
