@@ -1,0 +1,192 @@
+"""Streaming shuffle tier: open-loop fleet latency and backpressure.
+
+Two arms over the streaming tier (no figure in the paper -- the tier is
+the "extensible architecture" claim applied to continuous workloads,
+the direction ShuffleBench measures for real streaming engines):
+
+1. **Open-loop fleet**: one streaming job per tenant across a
+   100-tenant fleet, every source on a pre-drawn Poisson timeline, all
+   submitted through admission control and weighted fair sharing.  The
+   headline numbers are the end-to-end record latency percentiles
+   (source event time -> aggregate visibility): the exact global
+   p50/p99/p999 plus the median and worst per-tenant percentiles, so
+   tail isolation across tenants is part of the gated result.
+2. **Backpressure contrast**: one deliberately overloaded job (slow
+   reducers, fat records) run twice -- in-flight windows bounded vs
+   unbounded.  The claim is the store-footprint trade: with
+   backpressure on, peak object-store bytes stay bounded (and stalls
+   are paid as latency); with it off, every window's repartition blocks
+   pile up in the store.
+
+Scale: tenant count matches the "hundreds of concurrent jobs" shape at
+laptop size -- records are 64-byte tokens so the fleet's cost is task
+orchestration, not data volume, which is what the tier adds over the
+batch shuffles the other benches already gate.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+from typing import Any, Dict
+
+import pytest
+
+from repro.common.units import MIB
+from repro.jobs import JobSpec, StreamSpec
+from repro.metrics import ResultTable
+from repro.streaming import (
+    open_loop_workload,
+    run_open_loop,
+    run_streaming_job,
+    streaming_node_spec,
+)
+
+from benchmarks._harness import finish_bench, make_runtime
+
+SEED = 11
+
+#: Fleet-arm shape: >= 100 tenants is the acceptance bar.
+FLEET_TENANTS = 100
+FLEET_DURATION_S = 24.0
+FLEET_WINDOW_S = 6.0
+FLEET_NODES = 4
+
+COLUMNS = [
+    "arm", "tenants", "records", "stalls", "peak_inflight",
+    "p50_s", "p99_s", "p999_s", "peak_store_mib", "sim_seconds",
+]
+
+
+def run_fleet(num_tenants: int, duration_s: float = FLEET_DURATION_S):
+    """The open-loop arm: one streaming job per tenant, via admission."""
+    tenants, specs = open_loop_workload(
+        SEED, num_tenants, duration_s=duration_s, window_s=FLEET_WINDOW_S
+    )
+    rt = make_runtime(streaming_node_spec(), FLEET_NODES)
+    report = run_open_loop(specs, tenants, runtime=rt)
+    return report, rt
+
+
+def run_contrast_arm(backpressure: bool) -> Dict[str, Any]:
+    """The contrast arm: one overloaded job, bounded vs unbounded."""
+    spec = JobSpec(
+        name="overload", tenant="contrast", num_maps=4, num_reduces=2,
+        seed=SEED,
+        stream=StreamSpec(
+            rate_hz=40.0, duration_s=24.0, window_s=2.0,
+            bytes_per_record=65536, max_inflight_windows=1,
+            backpressure=backpressure,
+        ),
+    )
+    rt = make_runtime(streaming_node_spec(), 2)
+    result = rt.run(
+        run_streaming_job, rt, spec, job_id="contrast",
+        reduce_options={"compute": 6.0},
+    )
+    return {
+        "records": result.records,
+        "stalls": result.backpressure_stalls,
+        "peak_inflight": result.peak_inflight_windows,
+        "peak_store_mib": rt.stats()["store_peak_bytes"] / MIB,
+        "sim_seconds": rt.env.now,
+    }
+
+
+def _tenant_percentile_spread(report) -> Dict[str, Dict[str, float]]:
+    """Median and worst of each percentile across the tenant fleet."""
+    spread: Dict[str, Dict[str, float]] = {}
+    for q in ("p50", "p99", "p999"):
+        values = [s[q] for s in report.tenant_latency.values()]
+        spread[q] = {
+            "median": statistics.median(values),
+            "worst": max(values),
+        }
+    return spread
+
+
+def _run_figure(num_tenants: int = FLEET_TENANTS,
+                duration_s: float = FLEET_DURATION_S) -> ResultTable:
+    table = ResultTable(
+        "Streaming shuffle: open-loop fleet latency and backpressure trade",
+        COLUMNS,
+    )
+    report, rt = run_fleet(num_tenants, duration_s=duration_s)
+    assert report.all_done, "open-loop fleet left non-DONE jobs"
+    table.add_row(
+        arm="fleet-global",
+        tenants=num_tenants,
+        records=report.records,
+        stalls=report.backpressure_stalls,
+        peak_inflight=report.peak_inflight_windows,
+        p50_s=report.latency["p50"],
+        p99_s=report.latency["p99"],
+        p999_s=report.latency["p999"],
+        peak_store_mib=report.stats["store_peak_bytes"] / MIB,
+        sim_seconds=report.duration,
+    )
+    spread = _tenant_percentile_spread(report)
+    for which in ("median", "worst"):
+        table.add_row(
+            arm=f"fleet-tenant-{which}",
+            tenants=num_tenants,
+            p50_s=spread["p50"][which],
+            p99_s=spread["p99"][which],
+            p999_s=spread["p999"][which],
+        )
+    for on in (True, False):
+        metrics = run_contrast_arm(on)
+        table.add_row(arm="bp-on" if on else "bp-off", tenants=1, **metrics)
+    return table
+
+
+def assert_streaming_claims(table: ResultTable) -> None:
+    """The arms' claims: ordered tails, bounded footprint under pressure."""
+    fleet = table.find(arm="fleet-global")
+    worst = table.find(arm="fleet-tenant-worst")
+    assert fleet["records"] > 0
+    assert fleet["p50_s"] <= fleet["p99_s"] <= fleet["p999_s"]
+    assert worst["p999_s"] >= fleet["p50_s"]
+    bp_on = table.find(arm="bp-on")
+    bp_off = table.find(arm="bp-off")
+    assert bp_on["records"] == bp_off["records"], "open loop: same offered load"
+    assert bp_on["stalls"] > 0 and bp_off["stalls"] == 0
+    assert bp_on["peak_inflight"] <= 1 < bp_off["peak_inflight"]
+    assert bp_on["peak_store_mib"] < bp_off["peak_store_mib"], (
+        "backpressure must bound peak store bytes below the unbounded arm"
+    )
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_streaming_shuffle_fleet(benchmark):
+    table = benchmark.pedantic(_run_figure, rounds=1, iterations=1)
+    finish_bench("streaming_shuffle", table, benchmark=benchmark)
+    assert_streaming_claims(table)
+
+
+def main(argv=None) -> int:
+    """``python benchmarks/bench_streaming_shuffle.py [--smoke]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced fleet (12 tenants, short horizon); exit nonzero "
+        "unless latency ordering and the backpressure bound hold",
+    )
+    args = parser.parse_args(argv)
+    tenants = 12 if args.smoke else FLEET_TENANTS
+    duration = 12.0 if args.smoke else FLEET_DURATION_S
+    table = _run_figure(num_tenants=tenants, duration_s=duration)
+    print(table.render())
+    try:
+        assert_streaming_claims(table)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print("streaming shuffle smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

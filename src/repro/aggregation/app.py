@@ -4,10 +4,13 @@ Two modes over the same inputs and operators:
 
 - ``batch``: one simple shuffle over every hourly block; the aggregate
   exists only when the whole job finishes.
-- ``streaming``: :func:`repro.shuffle.streaming_shuffle` in rounds; after
-  each round an asynchronous aggregate task computes the partial ranking
-  and its KL-divergence from the ground truth (the paper's error metric,
-  footnote 4), giving the error-vs-time curve of Fig 5.
+- ``streaming``: the streaming tier's round driver
+  (:func:`repro.streaming.rounds.drive_rounds`, bit-for-bit equivalent
+  to :func:`repro.shuffle.streaming_shuffle` at one in-flight round) in
+  rounds; after each round an asynchronous aggregate task computes the
+  partial ranking and its KL-divergence from the ground truth (the
+  paper's error metric, footnote 4), giving the error-vs-time curve of
+  Fig 5.
 
 Per the paper, streaming pays extra total run time (the per-round
 aggregates and round barriers) in exchange for partial results orders of
@@ -23,8 +26,9 @@ import numpy as np
 
 from repro.futures import ObjectRef, Runtime
 from repro.metrics.core import TimeSeries
-from repro.shuffle import simple_shuffle, streaming_shuffle
+from repro.shuffle import simple_shuffle
 from repro.shuffle.common import chunks
+from repro.streaming.rounds import drive_rounds
 from repro.workloads.pageviews import PageviewBlock, PageviewDataset
 
 
@@ -198,7 +202,7 @@ def run_online_aggregation(
                 keepalive.append(agg_ref)
                 record_error_on_completion(agg_ref)
 
-            states = streaming_shuffle(
+            states = drive_rounds(
                 rt, rounds, map_fn, streaming_reduce, num_reduces,
                 on_round=on_round,
                 map_options={"compute": map_cost},

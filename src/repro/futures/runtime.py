@@ -879,6 +879,35 @@ class Runtime:
         (e.g. ``env.any_of`` over subdriver completion events)."""
         return self._driver.block_on(event)
 
+    def on_ready(
+        self,
+        ref: ObjectRef,
+        callback: Callable[[ObjectId, Optional[BaseException]], None],
+    ) -> None:
+        """Invoke ``callback(object_id, error)`` once ``ref`` is created
+        (or its task failed terminally), without blocking.
+
+        The non-blocking completion hook long-lived jobs build on: the
+        streaming tier timestamps aggregate visibility this way, and the
+        online-aggregation app records its error-vs-time curve with it.
+        Fires immediately if the object already exists.
+        """
+        self.directory.on_ready(ref.object_id, callback)
+
+    def allocation_backlog(self) -> int:
+        """Bytes parked in the allocation queues of active, alive nodes.
+
+        The memory policy's admission queue is where store overload
+        shows up first; this aggregate is the data-plane pressure signal
+        the streaming tier's backpressure controller (and the threshold
+        autoscaler) key off.
+        """
+        return sum(
+            manager.store.backlog
+            for node_id, manager in self.node_managers.items()
+            if self.membership.is_active(node_id) and manager.node.alive
+        )
+
     def timestamp(self) -> float:
         """Current simulated time (driver-side convenience)."""
         return self.env.now

@@ -26,7 +26,7 @@ a CI gate; see ``docs/jobs.md`` for the full tour.
 """
 
 from repro.jobs.admission import AdmissionController
-from repro.jobs.manager import JobManager
+from repro.jobs.manager import JobManager, job_runner, register_job_runner
 from repro.jobs.planner import (
     ClusterProfile,
     JobShape,
@@ -37,6 +37,7 @@ from repro.jobs.spec import (
     Job,
     JobSpec,
     JobState,
+    StreamSpec,
     TERMINAL_STATES,
     TenantQuota,
     TenantSpec,
@@ -60,11 +61,14 @@ __all__ = [
     "JobsRunReport",
     "PlanEstimate",
     "ShufflePlanner",
+    "StreamSpec",
     "TERMINAL_STATES",
     "TenantQuota",
     "TenantSpec",
     "default_tenants",
+    "job_runner",
     "mixed_workload",
+    "register_job_runner",
     "run_jobs",
     "verify_outputs",
 ]

@@ -25,7 +25,7 @@ sibling jobs keep running.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.chaos.harness import make_inputs, submit_variant
 from repro.common.errors import JobControlError
@@ -34,6 +34,34 @@ from repro.jobs.admission import AdmissionController
 from repro.jobs.planner import JobShape, ShufflePlanner
 from repro.jobs.spec import Job, JobSpec, JobState, TenantSpec
 from repro.metrics import Histogram
+
+
+#: Pluggable job-runner bodies keyed by mode name.  A runner is called
+#: inside the job's labeled subdriver as ``runner(manager, job)`` and
+#: returns the job's output.  Higher tiers register themselves here on
+#: import -- e.g. :mod:`repro.streaming` registers ``"streaming"`` -- so
+#: the control plane dispatches to them without importing them (the
+#: jobs layer stays below optional tiers in the layering order).
+_JOB_RUNNERS: Dict[str, Callable[["JobManager", Job], Any]] = {}
+
+
+def register_job_runner(
+    mode: str, runner: Callable[["JobManager", Job], Any]
+) -> None:
+    """Register (or replace) the runner body for ``mode`` jobs."""
+    _JOB_RUNNERS[mode] = runner
+
+
+def job_runner(mode: str) -> Callable[["JobManager", Job], Any]:
+    """Look up a registered runner; raises with an import hint when the
+    providing tier has not been loaded."""
+    runner = _JOB_RUNNERS.get(mode)
+    if runner is None:
+        raise JobControlError(
+            f"no job runner registered for mode {mode!r}; import the tier "
+            f"that provides it (e.g. repro.streaming for 'streaming')"
+        )
+    return runner
 
 
 class JobManager:
@@ -200,13 +228,19 @@ class JobManager:
         )
         start_seq = start.seq if start is not None else None
         try:
-            variant = self._resolve_variant(job)
-            job.planned_variant = variant
-            spec = job.spec
-            inputs = make_inputs(spec.seed, spec.num_maps, spec.values_per_part)
-            refs = submit_variant(variant, rt, inputs, spec.num_reduces)
-            values = rt.get(refs)
-            job.output = tuple(tuple(v) for v in values)
+            if job.spec.stream is not None:
+                job.planned_variant = "streaming"
+                job.output = job_runner("streaming")(self, job)
+            else:
+                variant = self._resolve_variant(job)
+                job.planned_variant = variant
+                spec = job.spec
+                inputs = make_inputs(
+                    spec.seed, spec.num_maps, spec.values_per_part
+                )
+                refs = submit_variant(variant, rt, inputs, spec.num_reduces)
+                values = rt.get(refs)
+                job.output = tuple(tuple(v) for v in values)
             job.state = JobState.DONE
         except Exception as exc:  # noqa: BLE001 - captured on the record
             job.state = JobState.FAILED

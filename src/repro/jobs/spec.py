@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Optional
 
 
 class JobState(enum.Enum):
@@ -86,6 +86,52 @@ _BYTES_PER_VALUE_ESTIMATE = 64
 
 
 @dataclass(frozen=True)
+class StreamSpec:
+    """The streaming arm of a :class:`JobSpec`.
+
+    When a job carries one, the manager dispatches it to the streaming
+    tier's registered runner (:mod:`repro.streaming`) instead of the
+    batch shuffle path: the job becomes a long-lived subdriver fed by
+    ``JobSpec.num_maps`` Poisson sources, repartitioning each tumbling
+    window across ``JobSpec.num_reduces`` stateful reducers.
+
+    ``rate_hz`` is the mean open-loop arrival rate *per source*;
+    arrivals stop at ``duration_s`` of event time, closing the source.
+    ``max_inflight_windows`` bounds windows that are closed but whose
+    aggregate is not yet visible -- the backpressure knob; set
+    ``backpressure=False`` to let in-flight windows grow unboundedly
+    (the bench's contrast arm).
+    """
+
+    rate_hz: float = 2.0
+    duration_s: float = 30.0
+    window_s: float = 5.0
+    keys: int = 16
+    bytes_per_record: int = 64
+    max_inflight_windows: int = 2
+    backpressure: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.keys < 1:
+            raise ValueError("keys must be >= 1")
+        if self.bytes_per_record < 1:
+            raise ValueError("bytes_per_record must be >= 1")
+        if self.max_inflight_windows < 1:
+            raise ValueError("max_inflight_windows must be >= 1")
+
+    @property
+    def expected_records(self) -> float:
+        """Mean records one source emits before closing."""
+        return self.rate_hz * self.duration_s
+
+
+@dataclass(frozen=True)
 class JobSpec:
     """A declarative description of one shuffle job.
 
@@ -106,6 +152,9 @@ class JobSpec:
     weight: float = 1.0
     seed: int = 0
     store_bytes_estimate: Optional[int] = None
+    #: When set, the job runs on the streaming tier: ``num_maps``
+    #: sources, ``num_reduces`` repartition width, ``variant`` ignored.
+    stream: Optional[StreamSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -118,10 +167,19 @@ class JobSpec:
     @property
     def estimated_store_bytes(self) -> int:
         """The admission-control footprint: the explicit estimate when
-        given, otherwise a heuristic of twice the input bytes (input plus
-        shuffled copy)."""
+        given; for streaming jobs, the bytes resident with every allowed
+        window in flight; otherwise a heuristic of twice the input bytes
+        (input plus shuffled copy)."""
         if self.store_bytes_estimate is not None:
             return self.store_bytes_estimate
+        if self.stream is not None:
+            window_bytes = (
+                self.num_maps
+                * self.stream.rate_hz
+                * self.stream.window_s
+                * self.stream.bytes_per_record
+            )
+            return int(2 * window_bytes * (self.stream.max_inflight_windows + 1))
         values = self.num_maps * self.values_per_part
         return 2 * values * _BYTES_PER_VALUE_ESTIMATE
 
@@ -137,8 +195,9 @@ class Job:
     admitted_at: Optional[float] = None
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
-    #: The reduce outputs (one sorted tuple per partition) once DONE.
-    output: Optional[Tuple[Tuple[int, ...], ...]] = None
+    #: Once DONE: the reduce outputs (one sorted tuple per partition)
+    #: for batch jobs, or the runner's result record for streaming jobs.
+    output: Optional[Any] = None
     #: The exception that ended the job (FAILED or REJECTED).
     error: Optional[BaseException] = None
     #: The variant the planner resolved ``"auto"`` to (or the explicit one).

@@ -75,6 +75,31 @@ EVENT_KINDS: Dict[str, str] = {
     "job.done": "the job completed successfully (cause: job.start)",
     "job.fail": "the job failed (cause: job.start; attrs: error)",
     "job.cancel": "a queued job was cancelled",
+    # streaming tier (repro.streaming; absent from batch-only runs)
+    "stream.window.open": (
+        "a tumbling window received its first record "
+        "(attrs: window, start, end)"
+    ),
+    "stream.window.close": (
+        "the watermark passed the window's end and its repartition "
+        "round was submitted (cause: its open; attrs: records, bytes)"
+    ),
+    "stream.agg.begin": (
+        "the window's per-round aggregate task was submitted "
+        "(cause: the window close)"
+    ),
+    "stream.agg.end": (
+        "the window's aggregate became visible -- records are now "
+        "queryable (cause: its begin; attrs: latency percentiles)"
+    ),
+    "stream.backpressure": (
+        "the streaming job throttled its source (attrs: reason="
+        "inflight_windows/allocation_backlog, inflight, backlog_bytes)"
+    ),
+    "stream.source.close": (
+        "an unbounded source reached its horizon and closed "
+        "(attrs: records, watermark)"
+    ),
     # chaos
     "chaos.fault": "the injector fired a fault (attrs: fault)",
     # synthetic

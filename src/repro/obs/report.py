@@ -17,7 +17,10 @@ renders the sections behind ``python -m repro.obs``:
 - the fault/retry timeline, each retry annotated with its causal chain
   back to the fault that triggered it;
 - cluster churn accounting (joins / drains / removes and the lineage
-  recomputes node departures forced).
+  recomputes node departures forced);
+- streaming record latency (global + per-tenant p50/p99/p999 from the
+  summary's metric histograms, plus windows/records/backpressure-stall
+  accounting from ``stream.*`` events) when the streaming tier ran.
 """
 
 from __future__ import annotations
@@ -316,6 +319,66 @@ class RunReport:
             "reconstructions": int(stats.get("lineage_reconstructions", 0)),
         }
 
+    def streaming_summary(self) -> Dict[str, Any]:
+        """Streaming-tier accounting from ``stream.*`` events: windows
+        closed, records windowed, sources closed, and backpressure
+        stalls split by reason ({} for batch-only runs)."""
+        windows = records = sources = 0
+        stalls: Dict[str, int] = {}
+        for event in self.events:
+            if event.kind == "stream.window.close":
+                windows += 1
+                records += int(event.attrs.get("records", 0))
+            elif event.kind == "stream.source.close":
+                sources += 1
+            elif event.kind == "stream.backpressure":
+                reason = str(event.attrs.get("reason", "?"))
+                stalls[reason] = stalls.get(reason, 0) + 1
+        if not windows and not sources and not stalls:
+            return {}
+        return {
+            "windows": windows,
+            "records": records,
+            "sources": sources,
+            "backpressure_stalls": stalls,
+        }
+
+    def streaming_latency_table(self) -> ResultTable:
+        """Global + per-tenant record-latency percentiles (p50/p99/p999)
+        from the recorded ``run.summary`` metric histograms.
+
+        Keys mirror :mod:`repro.streaming.job`'s metric names without
+        importing the tier (obs sits below it in the layering order):
+        the global series of ``stream.record_latency_s`` plus every
+        tenant dimension of ``stream.tenant_latency_s``.
+        """
+        table = ResultTable(
+            "Streaming record latency",
+            ["scope", "records", "p50_s", "p99_s", "p999_s", "max_s"],
+        )
+        hists: Dict[str, Dict[str, float]] = self.summary.get(
+            "metrics", {}
+        ).get("histograms", {})
+
+        def add(scope: str, summary: Dict[str, float]) -> None:
+            table.add_row(
+                scope=scope,
+                records=int(summary.get("count", 0)),
+                p50_s=summary.get("p50", 0.0),
+                p99_s=summary.get("p99", 0.0),
+                p999_s=summary.get("p999", 0.0),
+                max_s=summary.get("max", 0.0),
+            )
+
+        global_summary = hists.get("stream.record_latency_s[<all>=<all>]")
+        if global_summary:
+            add("<global>", global_summary)
+        tenant_prefix = "stream.tenant_latency_s[job="
+        for key in sorted(hists):
+            if key.startswith(tenant_prefix):
+                add(key[len(tenant_prefix):-1], hists[key])
+        return table
+
     def _chain(self, event: ObsEvent) -> List[ObsEvent]:
         chain = [event]
         seen = {event.seq}
@@ -360,6 +423,23 @@ class RunReport:
                     f"{affinity['fell_through']} fell through, "
                     f"{affinity['no_hint']} unhinted"
                 )
+        streaming = self.streaming_summary()
+        if streaming:
+            parts.append("")
+            latency_table = self.streaming_latency_table()
+            if len(latency_table):
+                parts.append(latency_table.render())
+            stalls = streaming["backpressure_stalls"]
+            stall_s = (
+                ", ".join(f"{n} x {r}" for r, n in sorted(stalls.items()))
+                or "none"
+            )
+            parts.append(
+                f"streaming: {streaming['records']} records over "
+                f"{streaming['windows']} windows from "
+                f"{streaming['sources']} sources; "
+                f"backpressure stalls: {stall_s}"
+            )
         amp = self.spill_amplification()
         if amp is not None:
             parts.append("")

@@ -12,7 +12,10 @@ A :class:`Span` is a closed interval derived from the event stream:
 - **spill I/O** -- ``spill.write.begin``/``.end`` and
   ``spill.restore.begin``/``.end`` pairs;
 - **jobs** -- ``job.submit`` to ``job.admit`` (queue wait) and
-  ``job.start`` to ``job.done``/``job.fail`` (execution).
+  ``job.start`` to ``job.done``/``job.fail`` (execution);
+- **streaming windows** -- ``stream.window.open``/``.close``
+  (event-time accumulation) and ``stream.agg.begin``/``.end`` (the
+  round's processing tail until the aggregate is visible).
 
 Task spans additionally carry ``parents``: the creating tasks of their
 argument objects, reconstructed from ``task.submit``/``object.create``
@@ -50,6 +53,10 @@ _PAIRED_KINDS = {
     "spill.write.begin": ("spill.write.end", "spill"),
     "spill.restore.begin": ("spill.restore.end", "spill"),
     "disk.write.begin": ("disk.write.end", "disk"),
+    # streaming tier: window open -> close (accumulation) and aggregate
+    # submission -> visibility (the round's processing tail).
+    "stream.window.open": ("stream.window.close", "stream.window"),
+    "stream.agg.begin": ("stream.agg.end", "stream.agg"),
 }
 
 

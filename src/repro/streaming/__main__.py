@@ -1,0 +1,169 @@
+"""CLI entry point: ``python -m repro.streaming --smoke``.
+
+The smoke mode exercises the streaming tier end to end:
+
+1. an open-loop fleet (a dozen tenants, Poisson sources, windowed
+   repartition under fair share) must run every job to DONE with every
+   record's latency accounted for, global and per-tenant percentiles
+   populated, and per-tenant latency counts summing to the global;
+2. backpressure must hold: no job may ever exceed its in-flight window
+   bound, and the throttle must fire (``stream.backpressure`` events)
+   when reducers are made slower than the window cadence;
+3. the round-driver parity contract: at one in-flight round the
+   incremental driver must reproduce ``streaming_shuffle``'s final
+   reducer states exactly on a shared workload.
+
+Exit code 0 means all three held; CI runs this as the streaming gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.futures import Runtime
+from repro.jobs.spec import JobSpec, StreamSpec
+from repro.streaming.job import run_streaming_job
+from repro.streaming.loadgen import (
+    open_loop_workload,
+    run_open_loop,
+    streaming_node_spec,
+)
+
+
+def _check(ok: bool, message: str) -> int:
+    print(f"{'ok  ' if ok else 'FAIL'} {message}")
+    return 0 if ok else 1
+
+
+def _smoke_fleet(seed: int) -> int:
+    tenants, specs = open_loop_workload(
+        seed, num_tenants=12, duration_s=20.0, window_s=5.0
+    )
+    report = run_open_loop(specs, tenants)
+    failures = 0
+    failures += _check(
+        report.all_done,
+        f"{len(specs)} open-loop streaming jobs all DONE "
+        f"(t={report.duration:.1f}s)",
+    )
+    expected = sum(job.output.records for job in report.jobs if job.output)
+    failures += _check(
+        report.records == expected and report.records > 0,
+        f"every record latency-accounted ({report.records} records)",
+    )
+    lat = report.latency
+    failures += _check(
+        bool(lat) and lat["p50"] <= lat["p99"] <= lat["p999"],
+        f"global latency p50={lat.get('p50', 0):.2f}s "
+        f"p99={lat.get('p99', 0):.2f}s p999={lat.get('p999', 0):.2f}s"
+        if lat
+        else "global latency percentiles populated",
+    )
+    tenant_count = sum(
+        int(summary["count"]) for summary in report.tenant_latency.values()
+    )
+    failures += _check(
+        len(report.tenant_latency) == len(tenants)
+        and tenant_count == int(lat.get("count", -1)),
+        f"per-tenant percentiles for {len(report.tenant_latency)} tenants "
+        f"sum to the global count",
+    )
+    failures += _check(
+        report.peak_inflight_windows
+        <= max(spec.stream.max_inflight_windows for spec in specs),
+        f"in-flight windows bounded (peak={report.peak_inflight_windows})",
+    )
+    return failures
+
+
+def _smoke_backpressure(seed: int) -> int:
+    # Reducers slower than the window cadence force the in-flight bound
+    # to bite; the controller must throttle rather than queue unboundedly.
+    spec = JobSpec(
+        name="overloaded",
+        tenant="smoke",
+        num_maps=2,
+        num_reduces=2,
+        seed=seed,
+        stream=StreamSpec(
+            rate_hz=4.0,
+            duration_s=24.0,
+            window_s=3.0,
+            max_inflight_windows=2,
+        ),
+    )
+    rt = Runtime.create(streaming_node_spec(), 2)
+    result = rt.run(
+        run_streaming_job,
+        rt,
+        spec,
+        job_id="bp-smoke",
+        reduce_options={"compute": 5.0},
+    )
+    failures = _check(
+        result.peak_inflight_windows <= 2,
+        f"overloaded job held the in-flight bound "
+        f"(peak={result.peak_inflight_windows}/2)",
+    )
+    failures += _check(
+        result.backpressure_stalls > 0,
+        f"backpressure throttled the source "
+        f"({result.backpressure_stalls} stalls)",
+    )
+    return failures
+
+
+def _smoke_parity(seed: int) -> int:
+    from repro.shuffle import streaming_shuffle
+    from repro.streaming.rounds import drive_rounds
+
+    def map_fn(part):
+        return [[v * 2 for v in part], [v * 3 for v in part]]
+
+    def reduce_fn(state, *blocks):
+        merged = list(state or [])
+        for block in blocks:
+            merged.extend(block)
+        return sorted(merged)
+
+    rounds = [[[seed + r, r + c] for c in range(3)] for r in range(4)]
+    finals = []
+    for impl in (streaming_shuffle, drive_rounds):
+        rt = Runtime.create(streaming_node_spec(), 2)
+        finals.append(
+            rt.run(lambda: rt.get(impl(rt, rounds, map_fn, reduce_fn, 2)))
+        )
+    return _check(
+        finals[0] == finals[1],
+        "RoundDriver reproduces streaming_shuffle's final states",
+    )
+
+
+def main(argv=None) -> int:
+    """Parse arguments and run the requested streaming-tier mode."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.streaming",
+        description="Streaming shuffle tier smoke runner.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the open-loop fleet, a backpressure overload check, "
+        "and the round-driver parity check; exit nonzero on any failure",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.print_help()
+        return 2
+    failures = _smoke_fleet(args.seed)
+    failures += _smoke_backpressure(args.seed)
+    failures += _smoke_parity(args.seed)
+    print(("streaming smoke passed" if not failures else
+           f"streaming smoke: {failures} check(s) failed"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

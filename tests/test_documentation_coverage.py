@@ -29,6 +29,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.metrics",
     "repro.obs",
+    "repro.streaming",
     "repro.tools",
 ]
 
@@ -95,6 +96,18 @@ REQUIRED_DOCS = {
         ["ClusterMembership", "spill_backend", "threshold", "remove_node"],
         ["chaos.md", "data_plane.md", "observability.md"],
     ),
+    "streaming.md": (
+        ["StreamSpec", "backpressure", "open-loop", "p999", "watermark"],
+        ["jobs.md", "observability.md"],
+    ),
+    "jobs.md": (
+        ["StreamSpec"],
+        ["streaming.md"],
+    ),
+    "observability.md": (
+        ["p999"],
+        ["streaming.md"],
+    ),
 }
 
 
@@ -111,3 +124,10 @@ def test_subsystem_guide_covers_and_cross_links(name):
     assert not missing, f"docs/{name} does not mention {missing}"
     unlinked = [f"]({l})" for l in links if f"]({l})" not in text]
     assert not unlinked, f"docs/{name} is missing cross-links {unlinked}"
+
+
+def test_readme_links_streaming_guide():
+    from pathlib import Path
+
+    readme = Path(__file__).resolve().parent.parent / "README.md"
+    assert "docs/streaming.md" in readme.read_text()

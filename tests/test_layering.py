@@ -73,6 +73,42 @@ def test_registry_coverage_catches_missing_kind(tmp_path):
     assert lint.main([str(tmp_path)]) == 1
 
 
+def test_streaming_tier_is_not_imported_by_the_core():
+    """Nothing in the data-plane core imports ``repro.streaming``."""
+    lint = _lint()
+    violations = lint.check_streaming_isolation(REPO / "src" / "repro")
+    assert violations == []
+
+
+def test_streaming_isolation_catches_core_imports(tmp_path):
+    """A synthetic core module importing the tier is flagged; the tier
+    itself and the aggregation app stay exempt."""
+    lint = _lint()
+    src_root = tmp_path / "src" / "repro"
+    for pkg in ("futures", "streaming", "aggregation"):
+        (src_root / pkg).mkdir(parents=True)
+        (src_root / pkg / "__init__.py").write_text("")
+    (src_root / "__init__.py").write_text("")
+    (src_root / "futures" / "rogue.py").write_text(
+        textwrap.dedent(
+            """
+            import json
+            from repro.streaming import RoundDriver
+            import repro.streaming.job
+            """
+        )
+    )
+    (src_root / "streaming" / "internal.py").write_text(
+        "from repro.streaming.rounds import RoundDriver\n"
+    )
+    (src_root / "aggregation" / "app.py").write_text(
+        "from repro.streaming.rounds import drive_rounds\n"
+    )
+    violations = lint.check_streaming_isolation(src_root)
+    assert len(violations) == 2
+    assert all("rogue.py" in v for v in violations)
+
+
 def test_lint_main_exit_codes(tmp_path, capsys):
     lint = _lint()
     clean = tmp_path / "clean"

@@ -85,6 +85,24 @@ class TestHistogram:
         assert h.percentile(100) == 100.0
         assert h.p95 == pytest.approx(95.05)
         assert h.p99 == pytest.approx(99.01)
+        assert h.p999 == pytest.approx(99.901)
+
+    def test_p999_separates_the_tail(self):
+        """p999 must resolve a 1-in-1000 outlier that p99 smooths over."""
+        h = Histogram()
+        for _ in range(999):
+            h.record(1.0)
+        h.record(1000.0)
+        assert h.p99 == pytest.approx(1.0)
+        assert h.p999 > 1.0
+        assert h.percentile(100) == 1000.0
+        # Matches numpy's linear-interpolation definition exactly.
+        import numpy as np
+
+        values = [1.0] * 999 + [1000.0]
+        assert h.p999 == pytest.approx(
+            float(np.percentile(values, 99.9)), rel=1e-12
+        )
 
     def test_record_order_irrelevant(self):
         a, b = Histogram(), Histogram()
@@ -111,7 +129,9 @@ class TestHistogram:
         assert snap["count"] == 2.0
         assert snap["mean"] == 2.0
         assert snap["min"] == 1.0 and snap["max"] == 3.0
-        assert set(snap) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        assert set(snap) == {
+            "count", "mean", "min", "max", "p50", "p95", "p99", "p999",
+        }
 
     def test_merge_folds_samples(self):
         a, b = Histogram(), Histogram()

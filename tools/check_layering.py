@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Layering lint: the policy plane must stay mechanism-free.
+"""Layering lint: the policy plane must stay mechanism-free, and the
+streaming tier must stay optional.
 
 ``repro.futures.policies`` holds pure decision rules; the refactor that
 extracted them is only worth keeping if they *stay* extracted.  This
@@ -14,8 +15,17 @@ tool walks every module under ``src/repro/futures/policies`` with
 In particular ``Runtime``, ``NodeManager``, ``ObjectStore``,
 ``Scheduler``, and ``repro.simcore`` are mechanism layers and must
 never be imported here -- policies receive frozen view dataclasses, not
-live runtime state.  Run as ``python tools/check_layering.py`` (CI does;
-nonzero exit on violation).
+live runtime state.
+
+The second check runs in the opposite direction: ``repro.streaming``
+may depend on the jobs/futures/obs planes, but *nothing in the
+data-plane core* may import ``repro.streaming`` -- only the
+applications that explicitly build on the tier
+(:data:`STREAMING_IMPORTERS`) may.  A core module importing the tier
+would make it load-bearing in batch-only runs, breaking the
+zero-cost-when-off contract the golden digest tests pin.  Run as
+``python tools/check_layering.py`` (CI does; nonzero exit on
+violation).
 """
 
 from __future__ import annotations
@@ -36,6 +46,19 @@ ALLOWED_PREFIXES = (
 
 #: The default tree to check, relative to the repo root.
 DEFAULT_ROOT = Path("src") / "repro" / "futures" / "policies"
+
+#: The whole source tree, walked by the streaming-isolation check.
+SRC_ROOT = Path("src") / "repro"
+
+#: Packages allowed to import ``repro.streaming``: the tier itself and
+#: the applications explicitly re-based on it.  Everything else under
+#: ``src/repro`` -- futures, cluster, shuffle, jobs, obs, chaos, ... --
+#: is data-plane core or control plane and must work with the tier
+#: absent.
+STREAMING_IMPORTERS = (
+    "repro.streaming",
+    "repro.aggregation",
+)
 
 
 def _allowed(module: str) -> bool:
@@ -135,6 +158,52 @@ def check_registry_coverage(root: Path) -> List[str]:
     ]
 
 
+def _module_name(path: Path, src_root: Path) -> str:
+    """Dotted module name of ``path`` relative to ``src_root``'s parent
+    (``src/repro/streaming/job.py`` -> ``repro.streaming.job``)."""
+    relative = path.relative_to(src_root.parent)
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def check_streaming_isolation(src_root: Path) -> List[str]:
+    """Core modules that import the optional streaming tier.
+
+    Walks every module under ``src_root`` and flags any import of
+    ``repro.streaming`` from a module outside
+    :data:`STREAMING_IMPORTERS` -- the reverse direction of the policy
+    check: the tier may see the core, the core must never see the tier.
+    """
+    violations: List[str] = []
+    for path in sorted(src_root.rglob("*.py")):
+        module = _module_name(path, src_root)
+        if any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in STREAMING_IMPORTERS
+        ):
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                targets = [node.module or ""]
+            for target in targets:
+                if target == "repro.streaming" or target.startswith(
+                    "repro.streaming."
+                ):
+                    violations.append(
+                        f"{path}:{node.lineno}: imports {target!r} "
+                        f"(only {', '.join(STREAMING_IMPORTERS)} may import "
+                        f"the streaming tier; the core must stay "
+                        f"streaming-free)"
+                    )
+    return violations
+
+
 def main(argv: List[str] = None) -> int:
     """Entry point: check the tree, print violations, exit nonzero."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -148,6 +217,10 @@ def main(argv: List[str] = None) -> int:
     # alone are not required to carry one.
     if root == DEFAULT_ROOT or (root / "registry.py").is_file():
         violations += check_registry_coverage(root)
+    # Streaming isolation spans the whole source tree; run it whenever
+    # the default tree is being checked (i.e. the full CI invocation).
+    if root == DEFAULT_ROOT and SRC_ROOT.exists():
+        violations += check_streaming_isolation(SRC_ROOT)
     for violation in violations:
         print(violation)
     if violations:
