@@ -17,17 +17,29 @@ def bar_chart(
     width: int = 50,
     unit: str = "s",
 ) -> str:
-    """Horizontal bars, one per label, scaled to the maximum value."""
+    """Horizontal bars, one per label, scaled to the maximum value.
+
+    Labels are right-aligned into one column and values into another
+    (bars are padded to ``width``), so mixed-width labels still render
+    as three clean columns.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
     if len(labels) != len(values):
         raise ValueError("labels and values must align")
     if not labels:
         return title
     peak = max(values)
     label_width = max(len(str(label)) for label in labels)
+    value_texts = [f"{value:.1f}{unit}" for value in values]
+    value_width = max(len(text) for text in value_texts)
     lines = [title, "-" * len(title)]
-    for label, value in zip(labels, values):
+    for label, value, text in zip(labels, values, value_texts):
         bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
-        lines.append(f"{str(label):>{label_width}s} | {bar} {value:.1f}{unit}")
+        lines.append(
+            f"{str(label):>{label_width}s} | {bar:<{width}s} "
+            f"{text:>{value_width}s}"
+        )
     return "\n".join(lines)
 
 
@@ -106,4 +118,122 @@ def line_chart(
     lines.append(
         "legend: " + ", ".join(f"{mark}={name}" for name, mark in legend.items())
     )
+    return "\n".join(lines)
+
+
+#: Eight-level block ramp used by :func:`sparkline`, lowest first.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """One-character-per-sample block sparkline of a value series.
+
+    Scaling is ``[lo, hi]`` when given (samples clamped into the range),
+    else the series' own min/max; a flat series renders as its lowest
+    block so "all zero" and "all saturated" don't look alike when a
+    shared ``hi`` is supplied.
+    """
+    if not values:
+        return ""
+    floor = min(values) if lo is None else lo
+    ceil = max(values) if hi is None else hi
+    span = ceil - floor
+    out = []
+    for value in values:
+        if span <= 0:
+            index = 0
+        else:
+            frac = (value - floor) / span
+            index = round(min(1.0, max(0.0, frac)) * (len(SPARK_BLOCKS) - 1))
+        out.append(SPARK_BLOCKS[index])
+    return "".join(out)
+
+
+def gauge(value: float, maximum: float, width: int = 24) -> str:
+    """A bracketed fill gauge: ``[#####...........]  31%``.
+
+    ``maximum <= 0`` renders an empty gauge at 0% rather than dividing
+    by zero; overfull values clamp at 100%.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    frac = 0.0 if maximum <= 0 else min(1.0, max(0.0, value / maximum))
+    filled = round(frac * width)
+    return f"[{'#' * filled}{'.' * (width - filled)}] {frac:4.0%}"
+
+
+#: Braille dot bit for plot cell (column 0-1, row 0-3), row 0 at the top
+#: of the character cell (U+2800 + mask renders the dot pattern).
+_BRAILLE_BITS = (
+    (0x01, 0x08),
+    (0x02, 0x10),
+    (0x04, 0x20),
+    (0x40, 0x80),
+)
+
+
+def braille_line_chart(
+    title: str,
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 10,
+) -> str:
+    """A braille-dot line chart with a labeled time axis.
+
+    Each character cell holds a 2x4 dot grid, so the plot resolution is
+    ``2*width`` by ``4*height`` -- dense enough for utilization tracks
+    in a terminal dashboard.  All series share one dot field (identity
+    comes from the legend ordering, not markers); consecutive points of
+    a series are connected by interpolated dots so sparse series still
+    read as lines.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("width and height must be positive")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title
+    xs, ys = [p[0] for p in points], [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    cols, rows = 2 * width, 4 * height
+    cells = [[0] * width for _ in range(height)]
+
+    def plot(x: float, y: float) -> None:
+        col = round((x - x_lo) / x_span * (cols - 1))
+        row = rows - 1 - round((y - y_lo) / y_span * (rows - 1))
+        bit = _BRAILLE_BITS[row % 4][col % 2]
+        cells[row // 4][col // 2] |= bit
+
+    for pts in series.values():
+        ordered = sorted(pts)
+        for i, (x, y) in enumerate(ordered):
+            plot(x, y)
+            if i + 1 < len(ordered):
+                nx, ny = ordered[i + 1]
+                steps = max(
+                    1, round(abs(nx - x) / x_span * (cols - 1))
+                )
+                for step in range(1, steps):
+                    frac = step / steps
+                    plot(x + (nx - x) * frac, y + (ny - y) * frac)
+
+    lines = [title, "-" * len(title)]
+    for row_index, row in enumerate(cells):
+        y_label = (
+            f"{y_hi:>8.3g} |" if row_index == 0
+            else f"{y_lo:>8.3g} |" if row_index == height - 1
+            else "         |"
+        )
+        lines.append(y_label + "".join(chr(0x2800 + cell) for cell in row))
+    lines.append("         +" + "-" * width)
+    lines.append(
+        f"          {x_lo:<10.3g}{'':{max(0, width - 20)}}{x_hi:>10.3g}"
+    )
+    lines.append("legend: " + ", ".join(series))
     return "\n".join(lines)

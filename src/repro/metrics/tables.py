@@ -38,6 +38,14 @@ class ResultTable:
                 return row
         return None
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form: title, column order, and the row dicts."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+        }
+
     def render(self) -> str:
         """Fixed-width text rendering, with a title rule."""
 

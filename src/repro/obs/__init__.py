@@ -23,13 +23,24 @@ into:
 - :mod:`repro.obs.perf` -- the analysis tier on top of the spans:
   critical-path extraction and bottleneck attribution
   (``python -m repro.obs critpath``), per-node utilization timelines
-  (``usage``), and the benchmark baseline/regression gate (``diff``).
+  (``usage``), and the benchmark baseline/regression gate (``diff``);
+- :mod:`repro.obs.live` -- the live ops plane: fixed-interval
+  time-series sampling of the bus (live or replayed, bit-for-bit
+  identical), the terminal dashboard (``python -m repro.obs live``),
+  and the single-file offline HTML run explorer (``html``).
 
 See ``docs/observability.md`` for the event taxonomy and span model,
-and ``docs/perf.md`` for the analysis methodology.
+``docs/perf.md`` for the analysis methodology, and ``docs/live.md``
+for the live ops plane.
 """
 
 from repro.obs.events import EVENT_KINDS, EventBus, ObsEvent
+from repro.obs.live import (
+    LiveDashboard,
+    TimeSeriesSampler,
+    render_html,
+    write_html,
+)
 from repro.obs.perf import (
     CriticalPath,
     DiffReport,
@@ -67,4 +78,8 @@ __all__ = [
     "derive_usage",
     "DiffReport",
     "compare_benches",
+    "TimeSeriesSampler",
+    "LiveDashboard",
+    "render_html",
+    "write_html",
 ]

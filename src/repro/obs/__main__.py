@@ -10,12 +10,19 @@ performance-analysis subcommands:
   (the CI perf gate; nonzero exit on regression or config mismatch);
 - ``python -m repro.obs bless RESULT...`` -- refresh committed
   baselines from fresh ``BENCH_*.json`` files (volatile fields
-  stripped).
+  stripped);
+- ``python -m repro.obs live TRACE`` -- terminal ops dashboard frames
+  over a recorded run (``--follow`` samples the built-in chaos
+  workload live; ``--smoke`` is the headless CI gate checking
+  live-vs-replay determinism and panel invariants);
+- ``python -m repro.obs html TRACE`` -- export the single-file offline
+  HTML run explorer.
 
 Report mode loads a :func:`repro.obs.report.record_run` JSONL file and
 prints the full run story (phase breakdown, slowest tasks, jobs and
 fairness, spill amplification, fault/retry timeline), followed by the
-critical-path and usage summaries.
+critical-path and usage summaries; ``--json`` prints
+:meth:`RunReport.to_dict` instead.
 
 Smoke mode (``--smoke``) exercises the observability plane end to end
 and is the CI gate for this package:
@@ -467,11 +474,243 @@ def _cmd_bless(argv) -> int:
     return 0
 
 
+def _chaos_workload(seed: int):
+    """The shared chaos demo workload: a push shuffle under a node
+    crash.  Returns ``(runtime, driver)``; the caller decides whether a
+    sampler attaches before ``rt.run(driver)``."""
+    rt = Runtime.create(
+        default_node_spec(),
+        4,
+        config=RuntimeConfig(retry_policy=RetryPolicy(max_attempts=8)),
+    )
+    ChaosInjector(rt, matrix_plan(FaultKind.NODE_CRASH, seed=seed))
+    inputs = make_inputs(seed, 8, 24)
+
+    def driver():
+        return rt.get(submit_variant("push", rt, inputs, 4))
+
+    return rt, driver
+
+
+def _smoke_live(seed: int, out_dir: Path, frames: int = 4) -> int:
+    """Live ops plane checks: live == replay, panel invariants, and a
+    self-contained offline HTML explorer for a chaos run."""
+    from repro.obs.live import (
+        TimeSeriesSampler,
+        render_html,
+        replay_frames,
+    )
+
+    failures = 0
+    rt, driver = _chaos_workload(seed)
+    live = TimeSeriesSampler(interval_s=0.25)
+    rt.attach_sampler(live)
+    rt.run(driver)
+    rt.env.run()  # drain the node restart
+    jsonl_path = out_dir / "live.events.jsonl"
+    record_run(rt, str(jsonl_path))
+    live.finish()
+    replayed = TimeSeriesSampler.replay_file(str(jsonl_path))
+    failures += _check(
+        live.series_digest() == replayed.series_digest(),
+        f"live and replayed series identical "
+        f"({len(live.series)} series, digest "
+        f"{live.series_digest()[:12]})",
+    )
+    failures += _check(
+        len(replayed.series) > 0 and replayed.samples_taken > 0,
+        f"sampler produced {replayed.samples_taken} samples over "
+        f"{len(replayed.series)} series",
+    )
+    failures += _check(
+        bool(replayed.feed)
+        and any(e.kind == "task.retry" and e.chain for e in replayed.feed),
+        f"fault feed carries {len(replayed.feed)} entries with causal "
+        f"retry chains",
+    )
+
+    events = _load_events(str(jsonl_path))
+    rendered = replay_frames(events, frames=frames)
+    panel_marks = (
+        "== repro live ops ==",
+        "-- node utilization ",
+        "tenant fair share",
+        "-- pressure ",
+        "-- fault feed ",
+    )
+    bad = [
+        (i, mark)
+        for i, frame in enumerate(rendered)
+        for mark in panel_marks
+        if mark not in frame
+    ]
+    failures += _check(
+        len(rendered) == frames and not bad,
+        f"{len(rendered)} deterministic frames render all panels "
+        f"(missing: {bad or '-'})",
+    )
+    node_lines = [
+        line for line in rendered[-1].splitlines() if "  cpu " in line
+    ]
+    failures += _check(
+        len(node_lines) == len(replayed.nodes()) > 0,
+        f"final frame tracks all {len(replayed.nodes())} nodes",
+    )
+    again = replay_frames(_load_events(str(jsonl_path)), frames=frames)
+    failures += _check(
+        rendered == again, "frame sequence is reproducible bit-for-bit"
+    )
+
+    html = render_html(events, title="live smoke chaos run")
+    # The only URL allowed is the SVG namespace (an identifier, never
+    # fetched); everything else must be inline for offline viewing.
+    stripped = html.replace("http://www.w3.org/2000/svg", "")
+    offline = (
+        "<script src=" not in stripped
+        and "<link" not in stripped
+        and "http://" not in stripped
+        and "https://" not in stripped
+    )
+    wanted = (
+        "Per-node utilization",
+        "Tenant fair share",
+        "Spill pressure",
+        "backpressure",
+        "Fault",
+        "Critical path",
+        "Phase table",
+    )
+    missing = [w for w in wanted if w.lower() not in html.lower()]
+    failures += _check(
+        offline and not missing,
+        f"HTML explorer is one offline file with every section "
+        f"({len(html)} bytes, missing: {missing or '-'})",
+    )
+    return failures
+
+
+def _cmd_live(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs live",
+        description="Terminal ops dashboard over a recorded run "
+        "(or --follow: the built-in chaos workload, sampled live).",
+    )
+    parser.add_argument(
+        "trace", nargs="?", help="a record_run() JSONL file to replay"
+    )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="run the built-in chaos workload in-process and render "
+        "frames live as it progresses",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="headless determinism checks: live==replay digest, N "
+        "deterministic frames, panel invariants, offline HTML",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=4, help="frames to render"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.25, help="sample interval (s)"
+    )
+    parser.add_argument(
+        "--window", type=int, default=48, help="sparkline window (samples)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--clear",
+        action="store_true",
+        help="emit ANSI clear codes between frames (interactive replay)",
+    )
+    args = parser.parse_args(argv)
+    from repro.obs.live import follow_runtime, replay_frames
+
+    if args.smoke:
+        with tempfile.TemporaryDirectory(prefix="repro-live-") as tmp:
+            failures = _smoke_live(args.seed, Path(tmp), frames=args.frames)
+        print(
+            "live smoke passed"
+            if not failures
+            else f"live smoke: {failures} check(s) failed"
+        )
+        return 1 if failures else 0
+    separator = "\x1b[2J\x1b[H" if args.clear else "\n" + "=" * 72 + "\n"
+    if args.follow:
+        rt, driver = _chaos_workload(args.seed)
+
+        def show(frame: str) -> None:
+            print(separator + frame)
+
+        def run():
+            rt.run(driver)
+            rt.env.run()
+
+        follow_runtime(
+            rt,
+            run,
+            interval_s=args.interval,
+            window=args.window,
+            on_frame=show,
+        )
+        return 0
+    if not args.trace:
+        parser.error("expected a trace file, --follow, or --smoke")
+        return 2
+    for frame in replay_frames(
+        _load_events(args.trace),
+        frames=args.frames,
+        interval_s=args.interval,
+        window=args.window,
+    ):
+        print(separator + frame)
+    return 0
+
+
+def _cmd_html(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs html",
+        description="Export a recorded run as a single self-contained "
+        "HTML explorer (inline JS, opens offline).",
+    )
+    parser.add_argument("trace", help="a record_run() JSONL file")
+    parser.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="output path (default: TRACE with .explorer.html)",
+    )
+    parser.add_argument(
+        "--title", default=None, help="document title (default: the trace)"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=0.25, help="sample interval (s)"
+    )
+    args = parser.parse_args(argv)
+    from repro.obs.live import TimeSeriesSampler, write_html
+
+    events = _load_events(args.trace)
+    sampler = TimeSeriesSampler.replay(events, interval_s=args.interval)
+    out = args.out or str(Path(args.trace).with_suffix("")) + ".explorer.html"
+    write_html(
+        events,
+        out,
+        sampler=sampler,
+        title=args.title or f"run explorer: {Path(args.trace).name}",
+    )
+    print(f"wrote {out}")
+    return 0
+
+
 _SUBCOMMANDS = {
     "critpath": _cmd_critpath,
     "usage": _cmd_usage,
     "diff": _cmd_diff,
     "bless": _cmd_bless,
+    "live": _cmd_live,
+    "html": _cmd_html,
 }
 
 
@@ -483,12 +722,17 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Observability-plane run reporter and smoke runner. "
-        "Subcommands: critpath, usage, diff, bless.",
+        "Subcommands: critpath, usage, diff, bless, live, html.",
     )
     parser.add_argument(
         "trace",
         nargs="?",
         help="a record_run() JSONL file to load and report on",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="report mode: print RunReport.to_dict() as JSON",
     )
     parser.add_argument(
         "--smoke",
@@ -518,6 +762,13 @@ def main(argv=None) -> int:
     if args.trace:
         try:
             events = _load_events(args.trace)
+            if args.json:
+                print(
+                    json.dumps(
+                        RunReport(events).to_dict(top_k=args.top), indent=2
+                    )
+                )
+                return 0
             print(RunReport(events).render(top_k=args.top))
             from repro.obs.perf import critical_path, derive_usage
 

@@ -390,6 +390,33 @@ class RunReport:
             seen.add(parent.seq)
         return chain
 
+    # -- export ---------------------------------------------------------------
+    def to_dict(self, top_k: int = 10) -> Dict[str, Any]:
+        """Every section as plain JSON-safe data -- the machine-readable
+        twin of :meth:`render`, consumed by ``report --json`` and the
+        HTML run explorer."""
+        stats = self.summary.get("stats", {})
+        return {
+            "events": len(self.events),
+            "t_end": stats.get(
+                "time", max((e.ts for e in self.events), default=0.0)
+            ),
+            "stats": stats,
+            "phase_table": self.phase_table().to_dict(),
+            "slowest_tasks": self.slowest_tasks(top_k).to_dict(),
+            "job_table": self.job_table().to_dict(),
+            "fairness_ratio": self.fairness_ratio(),
+            "spill_amplification": self.spill_amplification(),
+            "per_job_spill_bytes": self.per_job_spill_bytes(),
+            "policy_decisions": self.policy_decisions(),
+            "affinity_summary": self.affinity_summary(),
+            "policy_table": self.policy_table().to_dict(),
+            "fault_timeline": self.fault_timeline(),
+            "membership_summary": self.membership_summary(),
+            "streaming_summary": self.streaming_summary(),
+            "streaming_latency_table": self.streaming_latency_table().to_dict(),
+        }
+
     # -- rendering ------------------------------------------------------------
     def render(self, top_k: int = 10) -> str:
         """The full multi-section report as one printable string."""

@@ -36,6 +36,7 @@ class BackpressureController:
         max_inflight_windows: int,
         backlog_limit_bytes: Optional[int] = None,
         job_id: Optional[str] = None,
+        tenant: Optional[str] = None,
         enabled: bool = True,
     ) -> None:
         if max_inflight_windows < 1:
@@ -44,6 +45,9 @@ class BackpressureController:
         self.max_inflight_windows = max_inflight_windows
         self.backlog_limit_bytes = backlog_limit_bytes
         self.job_id = job_id
+        #: Owning tenant, stamped onto every stall event so per-tenant
+        #: stall series need no job -> tenant join downstream.
+        self.tenant = tenant
         self.enabled = enabled
         #: (window index, aggregate ref), oldest first.
         self._inflight: Deque[tuple] = deque()
@@ -94,6 +98,7 @@ class BackpressureController:
                 "stream.backpressure",
                 job=self.job_id,
                 reason=reason,
+                tenant=self.tenant,
                 inflight=len(self._inflight),
                 backlog_bytes=rt.allocation_backlog(),
             )

@@ -133,6 +133,7 @@ def run_streaming_job(
         max_inflight_windows=stream.max_inflight_windows,
         backlog_limit_bytes=backlog_limit_bytes,
         job_id=job_id,
+        tenant=spec.tenant,
         enabled=stream.backpressure,
     )
     rounds = RoundDriver(

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.metrics.ascii_charts import bar_chart, grouped_bar_chart, line_chart
+from repro.metrics.ascii_charts import (
+    SPARK_BLOCKS,
+    bar_chart,
+    braille_line_chart,
+    gauge,
+    grouped_bar_chart,
+    line_chart,
+    sparkline,
+)
 
 
 class TestBarChart:
@@ -24,6 +32,79 @@ class TestBarChart:
 
     def test_empty_chart_is_title(self):
         assert bar_chart("just title", [], []) == "just title"
+
+    def test_mixed_width_labels_align_into_columns(self):
+        text = bar_chart(
+            "t", ["a", "tenant-long", "b"], [1.0, 2.0, 300.0], width=10
+        )
+        lines = text.splitlines()[2:]
+        # Labels right-align into one column: every bar starts at the
+        # same offset, and every value ends at the same offset.
+        assert len({line.index("|") for line in lines}) == 1
+        assert len({len(line) for line in lines}) == 1
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], [1.0], width=0)
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], [1.0], width=-3)
+
+
+class TestSparkline:
+    def test_maps_range_onto_the_block_ramp(self):
+        text = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(text) == 4
+        assert text[0] == SPARK_BLOCKS[0] and text[-1] == SPARK_BLOCKS[-1]
+
+    def test_explicit_bounds_clamp(self):
+        # With a shared hi, a saturated sample renders full regardless
+        # of the series' own max; overshoot clamps instead of wrapping.
+        assert sparkline([4.0, 8.0], lo=0.0, hi=4.0) == (
+            SPARK_BLOCKS[-1] * 2
+        )
+
+    def test_flat_series_renders_lowest_block(self):
+        assert sparkline([2.0, 2.0, 2.0]) == SPARK_BLOCKS[0] * 3
+
+    def test_empty_is_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestGauge:
+    def test_fill_fraction_and_percent(self):
+        text = gauge(1.0, 4.0, width=8)
+        assert text == "[##......]  25%"
+
+    def test_overfull_clamps_at_100(self):
+        assert gauge(10.0, 4.0, width=4) == "[####] 100%"
+
+    def test_zero_maximum_is_empty_not_division_error(self):
+        assert gauge(3.0, 0.0, width=4) == "[....]   0%"
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValueError):
+            gauge(1.0, 2.0, width=0)
+
+
+class TestBrailleLineChart:
+    def test_plots_within_braille_range(self):
+        text = braille_line_chart(
+            "track", {"cpu": [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]}
+        )
+        dots = [
+            ch for ch in text if 0x2800 < ord(ch) <= 0x28FF
+        ]
+        assert dots, "the chart must contain braille dot characters"
+        assert "legend: cpu" in text
+
+    def test_empty_series_is_title(self):
+        assert braille_line_chart("empty", {}) == "empty"
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            braille_line_chart("t", {"s": [(0.0, 1.0)]}, width=0)
+        with pytest.raises(ValueError):
+            braille_line_chart("t", {"s": [(0.0, 1.0)]}, height=0)
 
 
 class TestGroupedBarChart:

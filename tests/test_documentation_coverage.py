@@ -106,7 +106,22 @@ REQUIRED_DOCS = {
     ),
     "observability.md": (
         ["p999"],
-        ["streaming.md"],
+        ["streaming.md", "live.md"],
+    ),
+    "perf.md": (
+        ["critical_path", "--live-html"],
+        ["observability.md", "live.md"],
+    ),
+    "live.md": (
+        [
+            "TimeSeriesSampler",
+            "series_digest",
+            "bit-for-bit",
+            "attach_sampler",
+            "--follow",
+            "self-contained",
+        ],
+        ["observability.md", "perf.md", "streaming.md", "chaos.md"],
     ),
 }
 
@@ -131,3 +146,10 @@ def test_readme_links_streaming_guide():
 
     readme = Path(__file__).resolve().parent.parent / "README.md"
     assert "docs/streaming.md" in readme.read_text()
+
+
+def test_readme_links_live_guide():
+    from pathlib import Path
+
+    readme = Path(__file__).resolve().parent.parent / "README.md"
+    assert "docs/live.md" in readme.read_text()

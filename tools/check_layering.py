@@ -60,6 +60,18 @@ STREAMING_IMPORTERS = (
     "repro.aggregation",
 )
 
+#: Data-plane packages that must never import the live ops plane.  The
+#: live tier (``repro.obs.live``) is a pure *consumer* of the event bus:
+#: the runtime exposes only the duck-typed ``Runtime.attach_sampler``
+#: hook, so dashboards and samplers can be deleted without touching the
+#: data plane.  A data-plane import of the live package would invert
+#: that arrow and make telemetry rendering load-bearing.
+DATA_PLANE_PACKAGES = (
+    "repro.futures",
+    "repro.simcore",
+    "repro.shuffle",
+)
+
 
 def _allowed(module: str) -> bool:
     """Is an absolute import target acceptable inside the policy plane?"""
@@ -204,6 +216,44 @@ def check_streaming_isolation(src_root: Path) -> List[str]:
     return violations
 
 
+def check_live_isolation(src_root: Path) -> List[str]:
+    """Data-plane modules that import the live ops plane.
+
+    Walks every module under the :data:`DATA_PLANE_PACKAGES` trees and
+    flags any import of ``repro.obs.live`` -- the observer must never
+    become a dependency of the observed: the data plane publishes to
+    the bus and exposes the duck-typed ``attach_sampler`` hook, nothing
+    more.
+    """
+    violations: List[str] = []
+    for path in sorted(src_root.rglob("*.py")):
+        module = _module_name(path, src_root)
+        if not any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in DATA_PLANE_PACKAGES
+        ):
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                targets = [node.module or ""]
+            for target in targets:
+                if target == "repro.obs.live" or target.startswith(
+                    "repro.obs.live."
+                ):
+                    violations.append(
+                        f"{path}:{node.lineno}: imports {target!r} "
+                        f"(the data plane -- "
+                        f"{', '.join(DATA_PLANE_PACKAGES)} -- must not "
+                        f"depend on the live ops plane; use the "
+                        f"duck-typed attach_sampler hook)"
+                    )
+    return violations
+
+
 def main(argv: List[str] = None) -> int:
     """Entry point: check the tree, print violations, exit nonzero."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -221,6 +271,7 @@ def main(argv: List[str] = None) -> int:
     # the default tree is being checked (i.e. the full CI invocation).
     if root == DEFAULT_ROOT and SRC_ROOT.exists():
         violations += check_streaming_isolation(SRC_ROOT)
+        violations += check_live_isolation(SRC_ROOT)
     for violation in violations:
         print(violation)
     if violations:
