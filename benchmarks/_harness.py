@@ -89,11 +89,42 @@ def set_live_html(enabled: bool) -> None:
     _LIVE_HTML = bool(enabled)
 
 
+#: When true (the ``--profile`` pytest option), every runtime built by
+#: :func:`make_runtime` gets a ``repro.obs.profile.SelfProfiler``
+#: attached, and ``finish_bench`` stamps the aggregated profile
+#: (throughput, category fractions, counters) into ``BENCH_*.json`` as
+#: its ``profile`` section plus ``<name>.profile.json`` and a
+#: ``<name>.flame.svg`` flamegraph in the trace dir.  Only the cheap
+#: scoped profiler runs here -- never cProfile, whose per-call hook
+#: would corrupt the very wall-time numbers the trajectory track
+#: follows.
+_PROFILE = False
+
+#: The profiler spanning the current benchmark's runtimes (a figure
+#: bench builds one runtime per variant; the profile aggregates them).
+_PROFILER: Optional[Any] = None
+
+
+def set_profile(enabled: bool) -> None:
+    """Toggle self-profiling of benchmark runs (the ``--profile`` flag)."""
+    global _PROFILE, _PROFILER
+    _PROFILE = bool(enabled)
+    _PROFILER = None
+
+
 def make_runtime(
     node: NodeSpec, num_nodes: int, config: Optional[RuntimeConfig] = None
 ) -> Runtime:
-    global LAST_RUNTIME
+    global LAST_RUNTIME, _PROFILER
     LAST_RUNTIME = Runtime.create(node, num_nodes, config=config)
+    if _PROFILE:
+        from repro.obs.profile import SelfProfiler
+
+        if _PROFILER is None:
+            _PROFILER = SelfProfiler()
+        else:
+            _PROFILER.detach()  # hop from the previous variant's runtime
+        _PROFILER.attach(LAST_RUNTIME)
     return LAST_RUNTIME
 
 
@@ -260,10 +291,34 @@ def finish_bench(
     run's critical-path category summary.  ``python -m repro.obs diff``
     keys off the fingerprint to refuse apples-to-oranges comparisons
     and off the critpath summary to attribute regressions.
+
+    Under ``--profile``, the self-profiler attached by
+    :func:`make_runtime` is detached and finalized here, its summary is
+    stamped into the JSON as the ``profile`` section (the non-gating
+    trajectory input of ``repro.obs diff``), and ``<name>.profile.json``
+    plus a ``<name>.flame.svg`` flamegraph land in the trace dir.
     """
+    global _PROFILER
     print_table(table, list(extra_lines))
     rt = runtime if runtime is not None else LAST_RUNTIME
     out_dir = _TRACE_DIR if _TRACE_DIR is not None else Path.cwd()
+    profiler = _PROFILER
+    _PROFILER = None  # the next make_runtime starts a fresh profile
+    if profiler is not None:
+        profiler.detach()
+    critpath_summary: Optional[Dict[str, Any]] = None
+    if rt is not None and rt.bus.events:
+        from repro.obs.perf import critical_path
+
+        if profiler is not None:
+            # Span derivation is an obs hot path the profiler cannot
+            # reach by instance shadowing; charge it explicitly.
+            with profiler.scope("span.derive"):
+                critpath_summary = critical_path(rt.bus.events).to_dict()
+        else:
+            critpath_summary = critical_path(rt.bus.events).to_dict()
+    if profiler is not None:
+        profiler.finish()
     payload: Dict[str, Any] = {
         "name": name,
         "title": table.title,
@@ -287,10 +342,22 @@ def finish_bench(
         "chrome_trace": None,
         "live_html": None,
     }
-    if rt is not None and rt.bus.events:
-        from repro.obs.perf import critical_path
+    if critpath_summary is not None:
+        payload["critpath"] = critpath_summary
+    if profiler is not None:
+        payload["profile"] = profiler.to_dict()
+        if _TRACE_DIR is not None:
+            from repro.obs.profile import folded_from_profiler, write_flamegraph
 
-        payload["critpath"] = critical_path(rt.bus.events).to_dict()
+            profile_path = _TRACE_DIR / f"{name}.profile.json"
+            profile_path.write_text(
+                json.dumps(payload["profile"], indent=2) + "\n"
+            )
+            write_flamegraph(
+                folded_from_profiler(profiler),
+                _TRACE_DIR / f"{name}.flame.svg",
+                title=f"{name} self-profile",
+            )
     if rt is not None and _TRACE_DIR is not None:
         from repro.obs.report import record_run
         from repro.obs.trace import write_chrome_trace

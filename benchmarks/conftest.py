@@ -1,4 +1,5 @@
-"""Benchmark-suite pytest hooks: ``--trace-dir PATH`` and ``--live-html``.
+"""Benchmark-suite pytest hooks: ``--trace-dir PATH``, ``--live-html``,
+and ``--profile``.
 
 ``pytest benchmarks/ --trace-dir out/`` makes every figure benchmark export
 its observability record (``<name>.events.jsonl`` + ``<name>.trace.json``
@@ -32,6 +33,15 @@ def pytest_addoption(parser):
         help="also export a self-contained <name>.explorer.html run "
         "explorer per benchmark (requires --trace-dir)",
     )
+    parser.addoption(
+        "--profile",
+        action="store_true",
+        default=False,
+        help="attach the self-profiler to every benchmark runtime: "
+        "stamps a profile section (throughput, category fractions) "
+        "into BENCH_*.json and, with --trace-dir, writes "
+        "<name>.profile.json and a <name>.flame.svg flamegraph",
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -42,6 +52,8 @@ def _trace_dir(request):
     _harness.LAST_RUNTIME = None
     _harness.set_trace_dir(request.config.getoption("--trace-dir"))
     _harness.set_live_html(request.config.getoption("--live-html"))
+    _harness.set_profile(request.config.getoption("--profile"))
     yield
     _harness.set_trace_dir(None)
     _harness.set_live_html(False)
+    _harness.set_profile(False)

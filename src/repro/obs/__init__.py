@@ -27,11 +27,17 @@ into:
 - :mod:`repro.obs.live` -- the live ops plane: fixed-interval
   time-series sampling of the bus (live or replayed, bit-for-bit
   identical), the terminal dashboard (``python -m repro.obs live``),
-  and the single-file offline HTML run explorer (``html``).
+  and the single-file offline HTML run explorer (``html``);
+- :mod:`repro.obs.profile` -- the self-observability tier: the
+  simulator measuring its *own* wall-clock time
+  (:class:`~repro.obs.profile.SelfProfiler` scoped attribution,
+  hot-loop counters, events-per-wall-second throughput, flamegraph
+  export; ``python -m repro.obs profile``).
 
 See ``docs/observability.md`` for the event taxonomy and span model,
-``docs/perf.md`` for the analysis methodology, and ``docs/live.md``
-for the live ops plane.
+``docs/perf.md`` for the analysis methodology, ``docs/live.md``
+for the live ops plane, and ``docs/profiling.md`` for the
+self-profiler.
 """
 
 from repro.obs.events import EVENT_KINDS, EventBus, ObsEvent
@@ -49,6 +55,7 @@ from repro.obs.perf import (
     critical_path,
     derive_usage,
 )
+from repro.obs.profile import SelfProfiler
 from repro.obs.registry import GLOBAL_DIM, MetricRegistry
 from repro.obs.report import RunReport, record_run
 from repro.obs.trace import (
@@ -82,4 +89,5 @@ __all__ = [
     "LiveDashboard",
     "render_html",
     "write_html",
+    "SelfProfiler",
 ]

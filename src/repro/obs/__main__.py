@@ -16,7 +16,13 @@ performance-analysis subcommands:
   workload live; ``--smoke`` is the headless CI gate checking
   live-vs-replay determinism and panel invariants);
 - ``python -m repro.obs html TRACE`` -- export the single-file offline
-  HTML run explorer.
+  HTML run explorer;
+- ``python -m repro.obs profile [TRACE | --workload chaos]`` -- the
+  simulator profiles *itself*: wall-clock attribution by category
+  (engine pop/dispatch, bus publish, metrics charging, span
+  derivation), hot-loop counters, events-per-wall-second throughput,
+  and standalone-SVG flamegraph export (``--flame``; ``--cprofile``
+  for function-level detail).
 
 Report mode loads a :func:`repro.obs.report.record_run` JSONL file and
 prints the full run story (phase breakdown, slowest tasks, jobs and
@@ -42,7 +48,13 @@ and is the CI gate for this package:
    while refusing mismatched configs;
 5. the recorded ``policy.decision`` stream must reconstruct placement
    affinity accounting (honoured vs fell-through partitioning every
-   placement) and render as the report's policy section.
+   placement) and render as the report's policy section;
+6. the self-profiler must attach to the chaos workload without changing
+   its simulated behavior (event streams identical with and without),
+   produce a category breakdown summing to total wall time within 1%,
+   detach cleanly, render the report's Engine section, export a
+   standalone flamegraph SVG, and surface wall-time movement on the
+   differ's non-gating trajectory track.
 
 Exit code 0 means all checks held.
 """
@@ -669,6 +681,240 @@ def _cmd_live(argv) -> int:
     return 0
 
 
+def _cmd_profile(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs profile",
+        description="Self-profile the simulator: wall-clock attribution "
+        "by engine/bus/metrics category, hot-loop counters, events-per-"
+        "wall-second throughput, and flamegraph export.  With TRACE, "
+        "profiles the offline analysis pipeline over that recording "
+        "(and prints any profile recorded in its run.summary); with "
+        "--workload, runs the built-in chaos workload instrumented.",
+    )
+    parser.add_argument(
+        "trace", nargs="?", help="a record_run() JSONL file to analyze"
+    )
+    parser.add_argument(
+        "--workload",
+        choices=("chaos",),
+        default=None,
+        help="run a built-in workload live with the profiler attached",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--flame", default=None, help="write a standalone SVG flamegraph here"
+    )
+    parser.add_argument(
+        "--folded",
+        default=None,
+        help="write collapsed-stack text (for external flamegraph tools)",
+    )
+    parser.add_argument(
+        "--cprofile",
+        action="store_true",
+        help="also capture cProfile for a function-level flamegraph "
+        "(inflates wall time; never used by the bench harness)",
+    )
+    parser.add_argument(
+        "--alloc",
+        action="store_true",
+        help="track allocations via tracemalloc (adds overhead)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the profile as JSON"
+    )
+    args = parser.parse_args(argv)
+    from repro.obs.profile import (
+        CProfileCapture,
+        SelfProfiler,
+        folded_from_profiler,
+        write_flamegraph,
+    )
+
+    if args.trace is None and args.workload is None:
+        parser.error("expected a trace file or --workload")
+        return 2
+    prof = SelfProfiler(trace_allocations=args.alloc)
+    capture = CProfileCapture() if args.cprofile else None
+    if capture is not None:
+        capture.start()
+    if args.workload:
+        rt, driver = _chaos_workload(args.seed)
+        prof.attach(rt)
+        rt.run(driver)
+        rt.env.run()
+        prof.detach()
+        recorded = None
+    else:
+        prof.start()
+        with prof.scope("trace.load"):
+            events = _load_events(args.trace)
+        with prof.scope("span.derive"):
+            derive_spans(events)
+        with prof.scope("report.render"):
+            report = RunReport(events)
+            report.render()
+        recorded = report.engine_summary()
+    if capture is not None:
+        capture.stop()
+    prof.finish()
+    if args.json:
+        payload = prof.to_dict()
+        if recorded:
+            payload["recorded_profile"] = recorded
+        print(json.dumps(payload, indent=2))
+    else:
+        print(prof.render())
+        if recorded:
+            print()
+            print(
+                f"recorded run.summary profile: "
+                f"{recorded['events_processed']} simulated events in "
+                f"{recorded['wall_time_s']:.3f}s wall "
+                f"({recorded['events_per_wall_s']:,.0f} events/s)"
+            )
+            for row in recorded["top_categories"]:
+                print(
+                    f"  {row['category']:<28} {row['seconds']:9.4f}s  "
+                    f"{100 * row['share']:5.1f}%"
+                )
+    folded = capture.folded() if capture is not None else folded_from_profiler(prof)
+    if args.flame:
+        title = (
+            "cProfile (function-level)" if capture is not None
+            else "self-profile (category scopes)"
+        )
+        out = write_flamegraph(
+            folded,
+            Path(args.flame),
+            title=title,
+            folded_path=Path(args.folded) if args.folded else None,
+        )
+        print(f"wrote {out}")
+    elif args.folded:
+        from repro.obs.profile.flame import folded_lines
+
+        Path(args.folded).write_text("\n".join(folded_lines(folded)) + "\n")
+        print(f"wrote {args.folded}")
+    return 0
+
+
+def _smoke_profile(seed: int, out_dir: Path) -> int:
+    """The self-profiling plane's checks: full-coverage invariant,
+    clean detach, behavior preservation, Engine report section,
+    standalone flamegraph, and the non-gating trajectory track."""
+    from repro.obs.events import EventBus
+    from repro.obs.perf.diff import compare_benches
+    from repro.obs.profile import (
+        SelfProfiler,
+        folded_from_profiler,
+        render_flamegraph_svg,
+    )
+
+    failures = 0
+    rt, driver = _chaos_workload(seed)
+    prof = SelfProfiler()
+    prof.attach(rt)
+    values = rt.run(driver)
+    rt.env.run()
+    prof.detach()
+    prof.finish()
+    failures += _check(
+        tuple(tuple(v) for v in values) == expected_output(seed),
+        "profiled chaos run is oracle-correct",
+    )
+    profile = prof.to_dict()
+    failures += _check(
+        profile["wall_time_s"] > 0
+        and prof.coverage_error() < 0.01
+        and abs(sum(profile["categories"].values()) - profile["wall_time_s"])
+        <= 0.01 * profile["wall_time_s"],
+        f"category breakdown sums to total wall time "
+        f"({profile['wall_time_s']:.4f}s, error "
+        f"{100 * prof.coverage_error():.4f}%)",
+    )
+    failures += _check(
+        profile["events_per_wall_s"] > 0
+        and profile["counters"]["events_processed"]
+        == profile["counters"]["heap_pops"]
+        > 0,
+        f"throughput and hot-loop counters populated "
+        f"({profile['events_per_wall_s']:,.0f} events/s, "
+        f"{profile['counters']['events_processed']} events)",
+    )
+    failures += _check(
+        "step" not in vars(rt.env)
+        and "emit" not in vars(rt.bus)
+        and "charge_task" not in vars(rt),
+        "detach restored every pristine method (no instance shadows left)",
+    )
+
+    # Behavior preservation: the profiled run's event stream must be
+    # byte-identical to an unprofiled run of the same workload.
+    rt2, driver2 = _chaos_workload(seed)
+    rt2.run(driver2)
+    rt2.env.run()
+    profiled_stream = [
+        (e.kind, e.ts, str(sorted(e.attrs.items()))) for e in rt.bus.events
+    ]
+    plain_stream = [
+        (e.kind, e.ts, str(sorted(e.attrs.items()))) for e in rt2.bus.events
+    ]
+    failures += _check(
+        profiled_stream == plain_stream,
+        f"profiling changes no simulated behavior "
+        f"({len(plain_stream)} events identical)",
+    )
+
+    jsonl_path = out_dir / "profile.events.jsonl"
+    record_run(rt, str(jsonl_path))
+    report = RunReport.load(str(jsonl_path))
+    engine = report.engine_summary()
+    failures += _check(
+        bool(engine)
+        and engine["events_processed"] > 0
+        and "Engine self-profile" in report.render(),
+        "report renders the Engine section from the recorded file alone",
+    )
+
+    svg = render_flamegraph_svg(folded_from_profiler(prof))
+    stripped = svg.replace("http://www.w3.org/2000/svg", "")
+    failures += _check(
+        svg.startswith("<svg")
+        and "<title>" in svg
+        and "http://" not in stripped
+        and "https://" not in stripped
+        and "<script" not in svg,
+        f"flamegraph is one standalone offline SVG ({len(svg)} bytes)",
+    )
+
+    base = {
+        "name": "smoke",
+        "rows": [{"variant": "push", "seconds": 10.0}],
+        "sim_time_s": 10.0,
+        "counters": {},
+        "wall_time_s": 1.0,
+        "profile": {"events_per_wall_s": 50_000.0, "sim_s_per_wall_s": 10.0,
+                    "events_processed": 50_000},
+        "fingerprint": {"bench": "smoke", "sort_scale": 1},
+    }
+    slower = dict(
+        base,
+        wall_time_s=2.5,
+        profile={"events_per_wall_s": 20_000.0, "sim_s_per_wall_s": 4.0,
+                 "events_processed": 50_000},
+    )
+    verdict = compare_benches(base, slower)
+    failures += _check(
+        verdict.ok
+        and len(verdict.trajectory) == 4
+        and "Perf trajectory" in verdict.render(),
+        "a 2.5x wall-time slowdown is reported on the trajectory track "
+        "but does not gate",
+    )
+    return failures
+
+
 def _cmd_html(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs html",
@@ -711,6 +957,7 @@ _SUBCOMMANDS = {
     "bless": _cmd_bless,
     "live": _cmd_live,
     "html": _cmd_html,
+    "profile": _cmd_profile,
 }
 
 
@@ -722,7 +969,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Observability-plane run reporter and smoke runner. "
-        "Subcommands: critpath, usage, diff, bless, live, html.",
+        "Subcommands: critpath, usage, diff, bless, live, html, profile.",
     )
     parser.add_argument(
         "trace",
@@ -753,6 +1000,7 @@ def main(argv=None) -> int:
             failures += _smoke_reporter(args.seed, out_dir)
             failures += _smoke_perf(args.seed, out_dir)
             failures += _smoke_policy(args.seed, out_dir)
+            failures += _smoke_profile(args.seed, out_dir)
         print(
             "obs smoke passed"
             if not failures

@@ -10,7 +10,10 @@ emailed file opens offline and still shows:
 - tenant fair-share bars;
 - spill-queue depth and backpressure stall rate;
 - the causal fault -> retry feed;
-- the critical-path category breakdown and the report's phase table.
+- the critical-path category breakdown and the report's phase table;
+- the Engine self-profile (events/sec throughput and top wall-time
+  categories) when the run was recorded with a
+  :class:`repro.obs.profile.SelfProfiler` attached.
 
 The data payload is ``sampler.to_dict()`` + ``RunReport.to_dict()`` +
 ``critical_path(...).to_dict()`` serialised into a ``const DATA``
@@ -225,6 +228,8 @@ td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
   <div class="panel" id="critpath"></div>
   <h2>Phase table</h2>
   <div class="panel" id="phases"></div>
+  <h2>Engine self-profile</h2>
+  <div class="panel" id="engine"></div>
 </main>
 <div class="tip" id="tip"></div>
 <script>
@@ -407,6 +412,26 @@ function renderTable(parent, tableData) {
   else crit.innerHTML = '<div class="quiet">no critical path recorded</div>';
 
   renderTable(document.getElementById("phases"), R.phase_table);
+
+  const engine = document.getElementById("engine");
+  const E = R.engine_summary || {};
+  if (E.top_categories && E.top_categories.length) {
+    const line = document.createElement("div");
+    line.className = "legend";
+    line.textContent =
+      `${E.events_processed} simulated events in ` +
+      `${E.wall_time_s.toFixed(3)}s wall | ` +
+      `${fmt(E.events_per_wall_s)} events/s | ` +
+      `${fmt(E.sim_s_per_wall_s)} sim-s per wall-s`;
+    engine.appendChild(line);
+    barRows(engine, E.top_categories.map(
+      (r) => [r.category, r.seconds]), "s");
+  } else {
+    engine.innerHTML =
+      '<div class="quiet">run recorded without a self-profiler ' +
+      '(attach one via benchmarks --profile or ' +
+      'python -m repro.obs profile --workload)</div>';
+  }
 })();
 </script>
 </body>

@@ -33,8 +33,24 @@ from repro.metrics.tables import ResultTable
 #: this is headroom for intentional small tuning, not for noise.
 DEFAULT_REL_TOLERANCE = 0.10
 
-#: Top-level fields that never participate in a comparison.
-VOLATILE_FIELDS = ("wall_time_s", "written_at", "events_jsonl", "chrome_trace")
+#: Top-level fields that never participate in a comparison and are
+#: stripped from blessed baselines (pure host-side bookkeeping: write
+#: stamps and export paths).  ``wall_time_s`` is deliberately *not*
+#: here anymore: it is committed into baselines and reported on the
+#: non-gating perf-trajectory track, so wall-clock movement is visible
+#: without ever failing the behavior gate.
+VOLATILE_FIELDS = ("written_at", "events_jsonl", "chrome_trace", "live_html")
+
+#: (label, extractor-path) pairs for the non-gating perf-trajectory
+#: track: host wall time and the self-profile throughput metrics.
+#: These never enter :attr:`DiffReport.metrics` and never affect
+#: :attr:`DiffReport.ok` -- wall-clock speed is tracked, not gated.
+TRAJECTORY_FIELDS = (
+    ("wall_time_s", ("wall_time_s",)),
+    ("events_per_wall_s", ("profile", "events_per_wall_s")),
+    ("sim_s_per_wall_s", ("profile", "sim_s_per_wall_s")),
+    ("events_processed", ("profile", "events_processed")),
+)
 
 
 class BenchMismatchError(ValueError):
@@ -94,6 +110,10 @@ class DiffReport:
     #: Critical-path category deltas (seconds), present when both
     #: results embed a critpath summary.
     category_deltas: Dict[str, float] = field(default_factory=dict)
+    #: The non-gating perf-trajectory rows (wall time / self-profile
+    #: throughput movement); informational only -- never part of
+    #: :attr:`metrics` and never consulted by :attr:`ok`.
+    trajectory: List[Dict[str, Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
 
     @property
@@ -126,6 +146,24 @@ class DiffReport:
                 f"critical-path {category}: {direction}{abs(delta):.3f}s"
             )
         return out
+
+    def trajectory_table(self) -> ResultTable:
+        """The wall-time / throughput delta rows (non-gating)."""
+        table = ResultTable(
+            "Perf trajectory (non-gating)",
+            ["metric", "baseline", "candidate", "delta_pct"],
+        )
+        for row in self.trajectory:
+            base, cand, delta = (
+                row["baseline"], row["candidate"], row["delta_pct"]
+            )
+            table.add_row(
+                metric=row["metric"],
+                baseline=base if base is not None else float("nan"),
+                candidate=cand if cand is not None else float("nan"),
+                delta_pct=delta if delta is not None else float("nan"),
+            )
+        return table
 
     def table(self, only_changed: bool = True) -> ResultTable:
         table = ResultTable(
@@ -170,6 +208,12 @@ class DiffReport:
                 "Improvements beyond tolerance -- refresh the baseline "
                 "with `python -m repro.obs bless` once intended."
             )
+        if self.trajectory:
+            parts.append("")
+            parts.append(self.trajectory_table().render())
+            parts.append(
+                "(trajectory rows track host speed; they never gate)"
+            )
         for note in self.notes:
             parts.append(f"note: {note}")
         parts.append("")
@@ -193,6 +237,7 @@ class DiffReport:
                 for m in self.metrics
             ],
             "category_deltas": self.category_deltas,
+            "trajectory": self.trajectory,
             "attribution": self.attribution(),
             "notes": self.notes,
         }
@@ -272,6 +317,45 @@ def _flat_metrics(payload: Dict[str, Any]) -> Dict[str, float]:
     return out
 
 
+def _trajectory_value(payload: Dict[str, Any], path: Tuple[str, ...]):
+    """Walk a dotted path into a result payload; None when absent or
+    non-numeric."""
+    node: Any = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def trajectory_rows(
+    baseline: Dict[str, Any], candidate: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """The non-gating perf-trajectory rows for two result payloads:
+    wall time and self-profile throughput, wherever at least one side
+    carries the value (see :data:`TRAJECTORY_FIELDS`)."""
+    rows: List[Dict[str, Any]] = []
+    for label, path in TRAJECTORY_FIELDS:
+        base = _trajectory_value(baseline, path)
+        cand = _trajectory_value(candidate, path)
+        if base is None and cand is None:
+            continue
+        delta = (
+            100.0 * (cand - base) / abs(base)
+            if base and cand is not None
+            else None
+        )
+        rows.append({
+            "metric": label,
+            "baseline": base,
+            "candidate": cand,
+            "delta_pct": delta,
+        })
+    return rows
+
+
 def _tolerance_for(
     metric: str, rel_tolerance: float, tolerances: Optional[Dict[str, float]]
 ) -> float:
@@ -346,6 +430,7 @@ def compare_benches(
         candidate_label=candidate_label,
         metrics=diffs,
         category_deltas=category_deltas,
+        trajectory=trajectory_rows(baseline, candidate),
         notes=notes,
     )
 

@@ -45,16 +45,22 @@ def record_run(runtime: Any, path: str) -> int:
     """
     runtime.sample_gauges()
     bus: EventBus = runtime.bus
+    attrs = {
+        "stats": runtime.stats(),
+        "job_stats": runtime.job_stats(),
+        "metrics": runtime.metrics.snapshot(),
+        "cluster": runtime.cluster_snapshot(),
+    }
+    # Duck-typed: present only when a repro.obs.profile.SelfProfiler is
+    # (or was) attached -- the reporter then renders an Engine section.
+    profiler = getattr(runtime, "self_profiler", None)
+    if profiler is not None:
+        attrs["profile"] = profiler.to_dict()
     summary = ObsEvent(
         seq=bus.next_seq,
         ts=float(bus.clock()),
         kind="run.summary",
-        attrs={
-            "stats": runtime.stats(),
-            "job_stats": runtime.job_stats(),
-            "metrics": runtime.metrics.snapshot(),
-            "cluster": runtime.cluster_snapshot(),
-        },
+        attrs=attrs,
     )
     return bus.to_jsonl(path, extra=[summary])
 
@@ -379,6 +385,52 @@ class RunReport:
                 add(key[len(tenant_prefix):-1], hists[key])
         return table
 
+    def engine_summary(self, top_k: int = 5) -> Dict[str, Any]:
+        """Self-profile of the *simulator itself* from the recorded
+        ``run.summary`` (present when the run was recorded with a
+        :class:`repro.obs.profile.SelfProfiler` attached): wall seconds,
+        simulated-events-per-wall-second throughput, and the top
+        wall-time categories with their shares ({} otherwise)."""
+        profile = self.summary.get("profile")
+        if not profile:
+            return {}
+        categories = profile.get("categories", {})
+        fractions = profile.get("fractions", {})
+        top = [
+            {
+                "category": category,
+                "seconds": seconds,
+                "share": fractions.get(category, 0.0),
+            }
+            for category, seconds in sorted(
+                categories.items(), key=lambda kv: -kv[1]
+            )[:top_k]
+        ]
+        return {
+            "wall_time_s": profile.get("wall_time_s", 0.0),
+            "sim_time_s": profile.get("sim_time_s", 0.0),
+            "events_processed": int(profile.get("events_processed", 0)),
+            "events_per_wall_s": profile.get("events_per_wall_s", 0.0),
+            "sim_s_per_wall_s": profile.get("sim_s_per_wall_s", 0.0),
+            "coverage_error": profile.get("coverage_error", 0.0),
+            "top_categories": top,
+            "counters": profile.get("counters", {}),
+        }
+
+    def engine_table(self, top_k: int = 5) -> ResultTable:
+        """The Engine section's category rows (empty without a profile)."""
+        table = ResultTable(
+            "Engine self-profile", ["category", "wall_s", "share_pct"]
+        )
+        engine = self.engine_summary(top_k)
+        for row in engine.get("top_categories", []):
+            table.add_row(
+                category=row["category"],
+                wall_s=row["seconds"],
+                share_pct=100.0 * row["share"],
+            )
+        return table
+
     def _chain(self, event: ObsEvent) -> List[ObsEvent]:
         chain = [event]
         seen = {event.seq}
@@ -415,6 +467,7 @@ class RunReport:
             "membership_summary": self.membership_summary(),
             "streaming_summary": self.streaming_summary(),
             "streaming_latency_table": self.streaming_latency_table().to_dict(),
+            "engine_summary": self.engine_summary(),
         }
 
     # -- rendering ------------------------------------------------------------
@@ -482,6 +535,16 @@ class RunReport:
                 f"{membership['drains']} drains, "
                 f"{membership['removes']} removes, "
                 f"{membership['reconstructions']} lineage recomputes"
+            )
+        engine = self.engine_summary()
+        if engine:
+            parts.append("")
+            parts.append(self.engine_table().render())
+            parts.append(
+                f"engine: {engine['events_processed']} events in "
+                f"{engine['wall_time_s']:.3f}s wall "
+                f"({engine['events_per_wall_s']:,.0f} events/s, "
+                f"{engine['sim_s_per_wall_s']:.2f} sim-s/wall-s)"
             )
         timeline = self.fault_timeline()
         if timeline:

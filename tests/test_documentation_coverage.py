@@ -105,12 +105,25 @@ REQUIRED_DOCS = {
         ["streaming.md"],
     ),
     "observability.md": (
-        ["p999"],
-        ["streaming.md", "live.md"],
+        ["p999", "SelfProfiler"],
+        ["streaming.md", "live.md", "profiling.md"],
+    ),
+    "profiling.md": (
+        [
+            "SelfProfiler",
+            "untracked",
+            "coverage_error",
+            "events per wall second",
+            "bit-for-bit",
+            "flamegraph",
+            "--profile",
+            "never gate",
+        ],
+        ["perf.md", "observability.md", "live.md"],
     ),
     "perf.md": (
-        ["critical_path", "--live-html"],
-        ["observability.md", "live.md"],
+        ["critical_path", "--live-html", "--profile", "trajectory"],
+        ["observability.md", "live.md", "profiling.md"],
     ),
     "live.md": (
         [
@@ -153,3 +166,10 @@ def test_readme_links_live_guide():
 
     readme = Path(__file__).resolve().parent.parent / "README.md"
     assert "docs/live.md" in readme.read_text()
+
+
+def test_readme_links_profiling_guide():
+    from pathlib import Path
+
+    readme = Path(__file__).resolve().parent.parent / "README.md"
+    assert "docs/profiling.md" in readme.read_text()

@@ -155,3 +155,43 @@ def test_lint_main_exit_codes(tmp_path, capsys):
     assert lint.main([str(clean)]) == 1
     assert lint.main([str(tmp_path / "missing")]) == 2
     capsys.readouterr()
+
+
+def test_self_profiler_is_not_imported_by_the_observed_planes():
+    """``repro.futures`` / ``repro.simcore`` / ``repro.shuffle`` /
+    ``repro.cluster`` never import ``repro.obs.profile`` -- the
+    profiler observes by instance shadowing, so the observed planes
+    must stay profiler-free (zero cost when off)."""
+    lint = _lint()
+    violations = lint.check_profile_isolation(REPO / "src" / "repro")
+    assert violations == []
+
+
+def test_profile_isolation_catches_observed_plane_imports(tmp_path):
+    """A synthetic simcore module importing the profiler is flagged;
+    the obs package (and the bench harness outside src/) stays exempt."""
+    lint = _lint()
+    src_root = tmp_path / "src" / "repro"
+    for pkg in ("simcore", "cluster", "obs"):
+        (src_root / pkg).mkdir(parents=True)
+        (src_root / pkg / "__init__.py").write_text("")
+    (src_root / "__init__.py").write_text("")
+    (src_root / "simcore" / "rogue.py").write_text(
+        textwrap.dedent(
+            """
+            import heapq
+            from repro.obs.profile import SelfProfiler
+            import repro.obs.profile.flame
+            """
+        )
+    )
+    (src_root / "cluster" / "rogue.py").write_text(
+        "from repro.obs.profile.core import SelfProfiler\n"
+    )
+    (src_root / "obs" / "cli.py").write_text(
+        "from repro.obs.profile import SelfProfiler\n"
+    )
+    violations = lint.check_profile_isolation(src_root)
+    assert len(violations) == 3
+    assert all("rogue.py" in v for v in violations)
+    assert all("self_profiler" in v for v in violations)

@@ -330,10 +330,16 @@ def test_diff_tolerance_override():
 
 def test_strip_volatile_drops_host_fields():
     payload = dict(_bench(), wall_time_s=1.23, written_at=999.0,
-                   events_jsonl="/tmp/x", chrome_trace="/tmp/y")
+                   events_jsonl="/tmp/x", chrome_trace="/tmp/y",
+                   live_html="/tmp/z")
     stripped = strip_volatile(payload)
-    assert "wall_time_s" not in stripped
+    # wall_time_s is *tracked* now (the trajectory baseline), only the
+    # write stamp and export paths are stripped.
+    assert stripped["wall_time_s"] == 1.23
     assert "written_at" not in stripped
+    assert "events_jsonl" not in stripped
+    assert "chrome_trace" not in stripped
+    assert "live_html" not in stripped
     assert stripped["rows"] == payload["rows"]
 
 
@@ -375,7 +381,9 @@ def test_cli_bless_then_gate_roundtrip(tmp_path):
     assert main(["bless", str(result_path), "--baselines",
                  str(baselines)]) == 0
     blessed = json.loads((baselines / "BENCH_fig_test.json").read_text())
-    assert "wall_time_s" not in blessed
+    # Blessed baselines keep wall_time_s: it feeds the non-gating
+    # trajectory track but never the behavior gate itself.
+    assert blessed["wall_time_s"] == 42.0
     assert main(["diff", "--gate", "--baselines", str(baselines),
                  "--results", str(tmp_path)]) == 0
 

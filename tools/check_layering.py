@@ -72,6 +72,20 @@ DATA_PLANE_PACKAGES = (
     "repro.shuffle",
 )
 
+#: Packages that must never import the self-profiling tier
+#: (``repro.obs.profile``).  The profiler observes the engine by
+#: shadowing methods on *instances* at attach time and restoring them
+#: on detach; the data plane's only contact is the duck-typed
+#: ``Runtime.self_profiler`` slot.  An import in either the data plane
+#: or the cluster fabric would make the observer load-bearing and
+#: break the zero-cost-when-off contract the golden digests pin.
+PROFILE_FORBIDDEN_PACKAGES = (
+    "repro.futures",
+    "repro.simcore",
+    "repro.shuffle",
+    "repro.cluster",
+)
+
 
 def _allowed(module: str) -> bool:
     """Is an absolute import target acceptable inside the policy plane?"""
@@ -254,6 +268,44 @@ def check_live_isolation(src_root: Path) -> List[str]:
     return violations
 
 
+def check_profile_isolation(src_root: Path) -> List[str]:
+    """Data-plane / cluster modules that import the self-profiling tier.
+
+    Same shape as :func:`check_live_isolation`, for
+    ``repro.obs.profile``: the profiler attaches by shadowing instance
+    methods from the outside, so nothing it observes may import it --
+    profiling must stay bit-for-bit absent when off.
+    """
+    violations: List[str] = []
+    for path in sorted(src_root.rglob("*.py")):
+        module = _module_name(path, src_root)
+        if not any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in PROFILE_FORBIDDEN_PACKAGES
+        ):
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                targets = [node.module or ""]
+            for target in targets:
+                if target == "repro.obs.profile" or target.startswith(
+                    "repro.obs.profile."
+                ):
+                    violations.append(
+                        f"{path}:{node.lineno}: imports {target!r} "
+                        f"(the observed planes -- "
+                        f"{', '.join(PROFILE_FORBIDDEN_PACKAGES)} -- must "
+                        f"not depend on the self-profiler; it attaches by "
+                        f"instance shadowing via the duck-typed "
+                        f"self_profiler slot)"
+                    )
+    return violations
+
+
 def main(argv: List[str] = None) -> int:
     """Entry point: check the tree, print violations, exit nonzero."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -272,6 +324,7 @@ def main(argv: List[str] = None) -> int:
     if root == DEFAULT_ROOT and SRC_ROOT.exists():
         violations += check_streaming_isolation(SRC_ROOT)
         violations += check_live_isolation(SRC_ROOT)
+        violations += check_profile_isolation(SRC_ROOT)
     for violation in violations:
         print(violation)
     if violations:
