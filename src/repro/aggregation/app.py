@@ -26,7 +26,8 @@ import numpy as np
 
 from repro.futures import ObjectRef, Runtime
 from repro.metrics.core import TimeSeries
-from repro.shuffle import simple_shuffle
+from repro.plan import JobShape, ShuffleExpr, planner_for_runtime
+from repro.shuffle import push_based_shuffle, simple_shuffle
 from repro.shuffle.common import chunks
 from repro.streaming.rounds import drive_rounds
 from repro.workloads.pageviews import PageviewBlock, PageviewDataset
@@ -163,8 +164,15 @@ def run_online_aggregation(
     num_reduces: int = 8,
     mode: str = "streaming",
     hours_per_round: int = 12,
+    variant: str = "simple",
 ) -> AggregationResult:
-    """Run one mode end to end on ``rt`` (blocking)."""
+    """Run one mode end to end on ``rt`` (blocking).
+
+    ``variant`` pins the batch arm's shuffle (``"simple"`` is Fig 5's
+    contrast arm and the default); ``"auto"`` lets :mod:`repro.plan`
+    choose between ``simple`` and ``push`` from the dataset size.
+    Ignored in streaming mode, which always uses the round driver.
+    """
     if mode not in ("streaming", "batch"):
         raise ValueError(f"unknown mode {mode!r}")
     map_fn, batch_reduce, streaming_reduce, error_of = _make_operators(
@@ -189,11 +197,33 @@ def run_online_aggregation(
         inputs = list(range(dataset.num_hours))
         start = rt.timestamp()
         if mode == "batch":
-            states = simple_shuffle(
-                rt, inputs, map_fn, batch_reduce, num_reduces,
-                map_options={"compute": map_cost},
-                reduce_options={"compute": _scan_cost},
+            plan = planner_for_runtime(rt).plan(
+                ShuffleExpr(
+                    shape=JobShape(
+                        total_bytes=dataset.num_hours * dataset.block_bytes,
+                        num_maps=dataset.num_hours,
+                        num_reduces=num_reduces,
+                    ),
+                    backend=variant,
+                    variants=("simple", "push"),
+                    label="aggregation",
+                ),
+                default_rule="empirical",
             )
+            if plan.variant == "push":
+                states = push_based_shuffle(
+                    rt, inputs, map_fn, batch_reduce, batch_reduce,
+                    num_reduces,
+                    map_options={"compute": map_cost},
+                    merge_options={"compute": _scan_cost},
+                    reduce_options={"compute": _scan_cost},
+                )
+            else:
+                states = simple_shuffle(
+                    rt, inputs, map_fn, batch_reduce, num_reduces,
+                    map_options={"compute": map_cost},
+                    reduce_options={"compute": _scan_cost},
+                )
         else:
             rounds = chunks(inputs, hours_per_round)
 

@@ -16,9 +16,15 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from repro.futures import ObjectRef, Runtime
-from repro.shuffle import choose_shuffle, simple_shuffle
+from repro.plan import JobShape, ShuffleExpr, ShufflePlan, planner_for_runtime
+from repro.shuffle import push_based_shuffle, simple_shuffle
 from repro.shuffle.common import worker_nodes
 from repro.dataframe.block import FrameBlock, _agg_column_name
+
+#: The variants the frame's operators are wired to execute: every
+#: shuffle-backed method lowers its expression against this restriction,
+#: so planning can never pick a variant the dataframe cannot run.
+_FRAME_VARIANTS = ("simple", "push")
 
 
 class DistributedFrame:
@@ -255,8 +261,22 @@ class DistributedFrame:
         def gather(*pieces: FrameBlock) -> FrameBlock:
             return FrameBlock.concat(list(pieces))
 
-        left = simple_shuffle(self.rt, self.partitions, bucketise, gather, out_parts)
-        right = simple_shuffle(self.rt, other.partitions, bucketise, gather, out_parts)
+        # One planned expression covers both sides: the join is a single
+        # exchange of left+right bytes, so both shuffles execute the
+        # variant one lowering chose (previously both were hardwired to
+        # simple_shuffle regardless of size).
+        plan = self._plan_shuffle(
+            out_parts,
+            label="join",
+            total_bytes=self.total_bytes() + other.total_bytes(),
+            num_maps=self.num_partitions + other.num_partitions,
+        )
+        left = self._run_shuffle(
+            plan, self.partitions, bucketise, gather, out_parts
+        )
+        right = self._run_shuffle(
+            plan, other.partitions, bucketise, gather, out_parts
+        )
         joiner = self.rt.remote(
             lambda lb, rb: lb.join(rb, on, suffix=suffix)
         )
@@ -280,33 +300,77 @@ class DistributedFrame:
             return [block.take(piece) for piece in pieces]
 
         refs = self._shuffle(scatter, lambda *b: FrameBlock.concat(list(b)),
-                             num_partitions)
+                             num_partitions, label="repartition")
         return DistributedFrame(self.rt, refs, self.column_names)
 
     # -- internals ----------------------------------------------------------
+    def _plan_shuffle(
+        self,
+        num_reduces: int,
+        label: str = "shuffle",
+        total_bytes: Optional[int] = None,
+        num_maps: Optional[int] = None,
+    ) -> ShufflePlan:
+        """Lower this frame's exchange through the plan surface (§7).
+
+        Builds an abstract :class:`~repro.plan.ShuffleExpr` restricted
+        to the variants the frame executes and lowers it through the
+        runtime's planner -- by default with the empirical two-way rule
+        this method historically hardcoded, so default-config choices
+        are unchanged.
+        """
+        expr = ShuffleExpr(
+            shape=JobShape(
+                total_bytes=(
+                    self.total_bytes() if total_bytes is None else total_bytes
+                ),
+                num_maps=(
+                    self.num_partitions if num_maps is None else num_maps
+                ),
+                num_reduces=num_reduces,
+            ),
+            variants=_FRAME_VARIANTS,
+            label=label,
+        )
+        return planner_for_runtime(self.rt).plan(
+            expr, default_rule="empirical"
+        )
+
+    def _run_shuffle(
+        self,
+        plan: ShufflePlan,
+        partitions: List[ObjectRef],
+        map_fn: Callable[[FrameBlock], List[FrameBlock]],
+        reduce_fn: Callable[..., FrameBlock],
+        num_reduces: int,
+    ) -> List[ObjectRef]:
+        """Execute a lowered plan over ``partitions``."""
+        if plan.variant == "simple":
+            return simple_shuffle(
+                self.rt, partitions, map_fn, reduce_fn, num_reduces
+            )
+        # push_based_shuffle needs a per-reducer merge; concat is correct
+        # for any of our reduce functions since they re-reduce at the end.
+        return push_based_shuffle(
+            self.rt,
+            partitions,
+            map_fn,
+            lambda *blocks: FrameBlock.concat(list(blocks)),
+            reduce_fn,
+            num_reduces,
+        )
+
     def _shuffle(
         self,
         map_fn: Callable[[FrameBlock], List[FrameBlock]],
         reduce_fn: Callable[..., FrameBlock],
         num_reduces: int,
+        label: str = "shuffle",
     ) -> List[ObjectRef]:
-        """Route through the best shuffle for the frame's size (§7)."""
-        algorithm = choose_shuffle(
-            self.rt, self.total_bytes(), max(self.num_partitions, num_reduces)
-        )
-        if algorithm is simple_shuffle:
-            return simple_shuffle(
-                self.rt, self.partitions, map_fn, reduce_fn, num_reduces
-            )
-        # push_based_shuffle needs a per-reducer merge; concat is correct
-        # for any of our reduce functions since they re-reduce at the end.
-        return algorithm(
-            self.rt,
-            self.partitions,
-            map_fn,
-            lambda *blocks: FrameBlock.concat(list(blocks)),
-            reduce_fn,
-            num_reduces,
+        """Plan and run the best shuffle for the frame's size (§7)."""
+        plan = self._plan_shuffle(num_reduces, label=label)
+        return self._run_shuffle(
+            plan, self.partitions, map_fn, reduce_fn, num_reduces
         )
 
     def _sample_bounds(self, column: str, num_out: int) -> List[Any]:

@@ -153,6 +153,21 @@ class RuntimeConfig:
     #: the request round-trip of a remote blob/object service).
     shared_store_latency_s: float = 10e-3
 
+    # -- planning -------------------------------------------------------------
+    #: Which lowering rule ``variant="auto"`` resolves through
+    #: (:mod:`repro.plan`).  ``"default"`` keeps each surface's legacy
+    #: rule -- jobs lower with the cost model, the dataframe with the
+    #: empirical two-way crossover; ``"cost"`` or ``"empirical"`` force
+    #: one rule everywhere.
+    planner: str = "default"
+
+    #: Adaptive mid-job re-planning: ``"off"`` (plans are final; runs
+    #: are bit-for-bit identical to builds without the plan layer) or
+    #: ``"on"`` (the planner subscribes to the event bus, may re-lower
+    #: the remaining plan at stage/round boundaries, and emits
+    #: ``plan.lower`` / ``plan.replan`` events).
+    replan: str = "off"
+
     # -- misc -----------------------------------------------------------------
     #: Root seed for any stochastic runtime behaviour (tie-breaking).
     seed: int = 0
@@ -200,6 +215,12 @@ class RuntimeConfig:
             raise ValueError("autoscale_shrink_pressure must be non-negative")
         if self.autoscale_interval_s < 0:
             raise ValueError("autoscale_interval_s must be non-negative")
+        if self.planner not in ("default", "cost", "empirical"):
+            raise ValueError(
+                "planner must be 'default', 'cost', or 'empirical'"
+            )
+        if self.replan not in ("off", "on"):
+            raise ValueError("replan must be 'off' or 'on'")
         if self.spill_backend not in ("local", "shared"):
             raise ValueError("spill_backend must be 'local' or 'shared'")
         if self.shared_store_bandwidth_bytes_per_sec <= 0:

@@ -153,6 +153,13 @@ class Runtime:
         #: :meth:`attach_sampler`, the data plane never imports the
         #: profiler); ``record_run`` stamps its summary when present.
         self.self_profiler: Optional[Any] = None
+        #: Duck-typed planning-surface slot, set by
+        #: :meth:`attach_planner` (normally via
+        #: ``repro.plan.planner_for_runtime`` when ``config.replan`` is
+        #: on).  The data plane never imports the plan layer: drivers
+        #: announce :meth:`stage_boundary` and whatever planner is
+        #: attached decides whether to re-plan.
+        self.planner: Optional[Any] = None
 
     # -- construction helpers -------------------------------------------------
     @classmethod
@@ -1011,3 +1018,31 @@ class Runtime:
         if on_attach is not None:
             on_attach(self)
         return self.bus.subscribe(sampler.on_event)
+
+    def attach_planner(self, planner: Any) -> None:
+        """Install a planning surface on the duck-typed ``planner`` slot.
+
+        Like :meth:`attach_sampler`, the runtime holds the object
+        without importing its package (``repro.plan`` stays an optional
+        layer above the data plane).  Call sites that resolve
+        ``variant="auto"`` find the shared planner here, and
+        :meth:`stage_boundary` forwards boundary announcements to it.
+        """
+        self.planner = planner
+
+    def stage_boundary(self, label: str, **info: Any) -> Optional[Any]:
+        """Announce a stage/round boundary to the attached planner.
+
+        Drivers running multi-stage work call this between stages with
+        whatever context they have (``plan=``, ``remaining_shape=``,
+        ``job=``, ``inflight=``); the attached planner's duck-typed
+        ``on_stage_boundary`` hook may return a revised plan (or bound)
+        for the remaining work.  A no-op returning ``None`` when no
+        planner is attached or it declines -- static runs pay nothing.
+        """
+        if self.planner is None:
+            return None
+        hook = getattr(self.planner, "on_stage_boundary", None)
+        if hook is None:
+            return None
+        return hook(label, **info)

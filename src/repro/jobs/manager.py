@@ -34,6 +34,7 @@ from repro.jobs.admission import AdmissionController
 from repro.jobs.planner import JobShape, ShufflePlanner
 from repro.jobs.spec import Job, JobSpec, JobState, TenantSpec
 from repro.metrics import Histogram
+from repro.plan import ShuffleExpr, planner_for_runtime
 
 
 #: Pluggable job-runner bodies keyed by mode name.  A runner is called
@@ -87,7 +88,11 @@ class JobManager:
             )
             runtime.scheduler = self.fair
         self.admission = AdmissionController()
-        self.planner = planner or ShufflePlanner.for_runtime(runtime)
+        # The planning surface behind ``variant="auto"``: by default the
+        # runtime's shared :class:`repro.plan.AdaptivePlanner` (honouring
+        # the ``planner=`` / ``replan=`` config knobs); a legacy
+        # :class:`ShufflePlanner` passed explicitly still works.
+        self.planner = planner or planner_for_runtime(runtime)
         #: Every job ever submitted, keyed by job id, in submission order.
         self.jobs: Dict[str, Job] = {}
         #: Queue-wait distribution (seconds from submission to admission).
@@ -201,16 +206,61 @@ class JobManager:
         )
 
     def _resolve_variant(self, job: Job) -> str:
+        """Resolve the job's variant through the plan surface.
+
+        A ``spec.plan`` hook wins: an already-lowered plan is executed
+        as-is, an expression is lowered by the manager's planner.  Then
+        explicit variants pass straight through, and ``"auto"`` lowers
+        the shape-derived expression -- with the cost model by default,
+        exactly as the legacy :class:`ShufflePlanner` path did.
+        """
         spec = job.spec
-        if spec.variant != "auto":
+        if spec.plan is not None and hasattr(spec.plan, "estimate"):
+            job.plan = spec.plan
+            return spec.plan.variant
+        if spec.plan is not None:
+            expr = spec.plan
+        elif spec.stream is not None:
+            # Streaming jobs are pinned to the streaming tier, but still
+            # lower through the plan surface so the shape and estimate
+            # are recorded (and ``plan.lower`` emitted when re-planning
+            # is on).  Total bytes = every record the sources will emit.
+            expr = ShuffleExpr(
+                shape=JobShape(
+                    total_bytes=int(
+                        spec.num_maps
+                        * spec.stream.expected_records
+                        * spec.stream.bytes_per_record
+                    ),
+                    num_maps=spec.num_maps,
+                    num_reduces=spec.num_reduces,
+                    streaming=True,
+                ),
+                backend="streaming",
+                label=spec.name,
+            )
+        elif spec.variant != "auto":
             return spec.variant
-        shape = JobShape(
-            total_bytes=spec.estimated_store_bytes,
-            num_maps=spec.num_maps,
-            num_reduces=spec.num_reduces,
-            streaming=False,
-        )
-        return self.planner.choose(shape)
+        else:
+            expr = ShuffleExpr(
+                shape=JobShape(
+                    total_bytes=spec.estimated_store_bytes,
+                    num_maps=spec.num_maps,
+                    num_reduces=spec.num_reduces,
+                    streaming=False,
+                ),
+                label=spec.name,
+            )
+        if hasattr(self.planner, "plan"):
+            plan = self.planner.plan(
+                expr, default_rule="cost", job=job.job_id
+            )
+            job.plan = plan
+            return plan.variant
+        # Legacy planners (bare ShufflePlanner) only see the shape.
+        if spec.stream is not None:
+            return "streaming"
+        return self.planner.choose(expr.shape)
 
     def _run_job(self, job: Job) -> Job:
         """The per-job subdriver body: plan, submit, block, record.
@@ -229,7 +279,7 @@ class JobManager:
         start_seq = start.seq if start is not None else None
         try:
             if job.spec.stream is not None:
-                job.planned_variant = "streaming"
+                job.planned_variant = self._resolve_variant(job)
                 job.output = job_runner("streaming")(self, job)
             else:
                 variant = self._resolve_variant(job)

@@ -1,134 +1,48 @@
-"""A cost-model shuffle planner ranking every variant for a job.
+"""The cost-model shuffle planner -- now a lowering backend.
 
-:mod:`repro.shuffle.select` encodes the paper's empirical two-way rule
-(simple vs push).  The control plane needs more: given a cluster profile
-and a job shape, rank *all* shuffle variants so ``variant="auto"`` jobs
-pick sensibly and operators can inspect why.  The model is deliberately
-coarse -- additive terms for task scheduling, per-block metadata/fetch
-overhead, network transfer, and disk spill traffic, with push-style
-variants overlapping network against disk -- but it reproduces the
-qualitative orderings the paper measures:
+The six-variant cost model this module introduced (additive terms for
+task scheduling, per-block metadata, network transfer, and disk spill
+traffic, with push-style variants overlapping network against disk)
+moved verbatim into the plan layer as the ``rule="cost"`` lowering rule
+(:mod:`repro.plan.cost`), where the expression IR and the adaptive
+re-planner consume it alongside the empirical rule.  See that module
+for the model's derivation and the qualitative orderings it reproduces.
 
-- small in-memory jobs with few partitions: ``simple`` wins (merging
-  only adds overhead, Fig 4c left);
-- many partitions: per-block overhead grows with ``maps x reduces``, so
-  block-coalescing variants (``push``) overtake ``simple`` even in
-  memory (the Fig 4c crossover);
-- larger-than-memory jobs: spill seeks dominate, and variants with
-  fewer/larger blocks (``riffle``, ``magnet``, ``push``) beat ``simple``,
-  with ``push`` first since it overlaps spill I/O with the network;
-- ``streaming`` is only *feasible* for jobs declared as streaming
-  (rounds of input), where its cross-round overlap makes it cheapest.
-
-Absolute seconds from this model are not predictions; only the ordering
-is meaningful, and the tests assert orderings.
+:class:`ShufflePlanner` remains the control plane's historical facade
+over the model -- profile a cluster, ``rank``/``choose``/``explain`` a
+:class:`~repro.plan.JobShape` -- and the value types
+(:class:`~repro.plan.ClusterProfile`, :class:`~repro.plan.JobShape`,
+:class:`~repro.plan.PlanEstimate`) are re-exported from their new home
+so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List
 
-from repro.shuffle.select import MEMORY_HEADROOM
+from repro.plan import (
+    ClusterProfile,
+    JobShape,
+    PlanEstimate,
+    cheapest_feasible,
+    rank_variants,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.futures.runtime import Runtime
 
-#: Scheduling overhead charged per task the variant launches.
-_SCHEDULE_S = 5e-4
-
-#: Metadata + fetch overhead charged per shuffle block (the per-object
-#: cost that makes M x R blocks expensive at high partition counts).
-_PER_BLOCK_S = 1e-4
-
-#: Fixed coordination cost of push-style pipelines (merge scheduling,
-#: pipeline spin-up).  Calibrated so the simple-vs-push crossover for the
-#: harness job shape lands in the paper's 80-200 partition window.
-_PUSH_SETUP_S = 0.06
-
-#: Riffle's dynamic variant starts merges opportunistically as map
-#: outputs appear, overlapping part of the merge pass's disk traffic
-#: with map execution.  Applied to the disk term only: in memory there
-#: is no merge I/O to hide, and dynamic merging buys nothing.
-_DYNAMIC_DISCOUNT = 0.95
-
-#: Streaming overlaps one round's reduce with the next round's map.
-_STREAMING_DISCOUNT = 0.9
-
-
-@dataclass(frozen=True)
-class ClusterProfile:
-    """The hardware facts the cost model consumes."""
-
-    num_nodes: int
-    total_cores: int
-    store_bytes: int
-    disk_bandwidth: float
-    nic_bandwidth: float
-    disk_seek_s: float = 5e-3
-
-    def __post_init__(self) -> None:
-        if self.num_nodes < 1 or self.total_cores < 1:
-            raise ValueError("cluster must have at least one node and core")
-        if min(self.store_bytes, self.disk_bandwidth, self.nic_bandwidth) <= 0:
-            raise ValueError("cluster capacities must be positive")
-
-    @classmethod
-    def from_runtime(cls, rt: "Runtime") -> "ClusterProfile":
-        """Profile the *alive* portion of a runtime's cluster."""
-        nodes = list(rt.cluster.alive_nodes())
-        if not nodes:
-            raise ValueError("no alive nodes to profile")
-        return cls(
-            num_nodes=len(nodes),
-            total_cores=sum(node.spec.cores for node in nodes),
-            store_bytes=sum(node.spec.object_store_bytes for node in nodes),
-            disk_bandwidth=sum(
-                node.spec.disk.bandwidth_bytes_per_sec for node in nodes
-            ),
-            nic_bandwidth=sum(
-                node.spec.nic.bandwidth_bytes_per_sec for node in nodes
-            ),
-            disk_seek_s=max(
-                node.spec.disk.effective_seek_latency_s for node in nodes
-            ),
-        )
-
-
-@dataclass(frozen=True)
-class JobShape:
-    """The job facts the cost model consumes."""
-
-    total_bytes: int
-    num_maps: int
-    num_reduces: int
-    #: Whether the input arrives in rounds (makes ``streaming`` feasible).
-    streaming: bool = False
-
-    def __post_init__(self) -> None:
-        if self.total_bytes < 0:
-            raise ValueError("total_bytes must be non-negative")
-        if self.num_maps < 1 or self.num_reduces < 1:
-            raise ValueError("job shape dimensions must be >= 1")
-
-
-@dataclass(frozen=True)
-class PlanEstimate:
-    """One variant's estimated cost and feasibility."""
-
-    variant: str
-    est_seconds: float
-    feasible: bool
-    #: The additive terms behind ``est_seconds`` (for explainability).
-    breakdown: Tuple[Tuple[str, float], ...]
-
-    def __repr__(self) -> str:
-        flag = "" if self.feasible else " (infeasible)"
-        return f"<PlanEstimate {self.variant} ~{self.est_seconds:.3f}s{flag}>"
+__all__ = ["ClusterProfile", "JobShape", "PlanEstimate", "ShufflePlanner"]
 
 
 class ShufflePlanner:
-    """Ranks shuffle variants for a job on a profiled cluster."""
+    """Ranks shuffle variants for a job on a profiled cluster.
+
+    A thin facade over :func:`repro.plan.rank_variants`: one profile,
+    bound at construction, and the model's public verbs.  New code
+    should build :class:`~repro.plan.ShuffleExpr` nodes and lower them
+    through :class:`~repro.plan.AdaptivePlanner` instead; this class
+    stays for callers that want the bare cost model.
+    """
 
     #: Riffle merge factor assumed by the model (matches the harness).
     merge_factor: int = 2
@@ -141,108 +55,13 @@ class ShufflePlanner:
         """A planner profiled from a live runtime's alive nodes."""
         return cls(ClusterProfile.from_runtime(rt))
 
-    # -- shared terms --------------------------------------------------------
-    def _in_memory(self, shape: JobShape) -> bool:
-        return shape.total_bytes <= MEMORY_HEADROOM * self.profile.store_bytes
-
-    def _network_seconds(self, shape: JobShape) -> float:
-        # Each node keeps 1/N of the data local; the rest crosses NICs
-        # that transfer in parallel (aggregate bandwidth).
-        p = self.profile
-        crossing = shape.total_bytes * (p.num_nodes - 1) / max(1, p.num_nodes)
-        return crossing / p.nic_bandwidth
-
-    def _disk_seconds(self, shape: JobShape, blocks: int, passes: int) -> float:
-        # Each spill pass writes and re-reads the dataset; every block
-        # read pays a seek unless fused (coalescing is what `blocks`
-        # captures).  Aggregate disk bandwidth: disks work in parallel.
-        if self._in_memory(shape):
-            return 0.0
-        p = self.profile
-        streamed = passes * 2 * shape.total_bytes / p.disk_bandwidth
-        seeks = blocks * p.disk_seek_s / p.num_nodes
-        return streamed + seeks
-
-    def _meta_seconds(self, blocks: int, tasks: int) -> float:
-        return blocks * _PER_BLOCK_S + tasks * _SCHEDULE_S
-
-    # -- per-variant models --------------------------------------------------
-    def _estimate(self, variant: str, shape: JobShape) -> PlanEstimate:
-        p = self.profile
-        M, R, W = shape.num_maps, shape.num_reduces, p.num_nodes
-        F = self.merge_factor
-        net = self._network_seconds(shape)
-        feasible = True
-        overlap = False
-        extra = 0.0
-        if variant == "simple":
-            blocks = M * R
-            tasks = M + R
-            disk = self._disk_seconds(shape, blocks, passes=1)
-        elif variant in ("riffle", "riffle_dynamic"):
-            merges = max(1, M // F)
-            blocks = merges * R
-            tasks = M + merges + R
-            # The merge pass re-reads and re-writes map output once more
-            # when spilling, in exchange for F-times-larger blocks.
-            disk = self._disk_seconds(shape, blocks, passes=2)
-            if variant == "riffle_dynamic":
-                disk *= _DYNAMIC_DISCOUNT
-        elif variant == "magnet":
-            blocks = W * R
-            tasks = M + W * R // max(1, F) + R
-            disk = self._disk_seconds(shape, blocks, passes=2)
-        elif variant == "push":
-            blocks = W * R
-            tasks = M + W * R + R
-            disk = self._disk_seconds(shape, blocks, passes=1)
-            overlap = True
-            extra = _PUSH_SETUP_S
-        elif variant == "streaming":
-            blocks = M * R
-            tasks = M + R
-            disk = self._disk_seconds(shape, blocks, passes=1)
-            overlap = True
-            feasible = shape.streaming
-        else:
-            raise ValueError(f"unknown shuffle variant {variant!r}")
-        meta = self._meta_seconds(blocks, tasks)
-        if overlap:
-            moved = max(net, disk)
-            breakdown = (("meta", meta), ("overlap(net,disk)", moved),
-                         ("setup", extra))
-        else:
-            moved = net + disk
-            breakdown = (("meta", meta), ("net", net), ("disk", disk),
-                         ("setup", extra))
-        seconds = meta + moved + extra
-        if variant == "streaming":
-            seconds *= _STREAMING_DISCOUNT
-        return PlanEstimate(
-            variant=variant,
-            est_seconds=seconds,
-            feasible=feasible,
-            breakdown=breakdown,
-        )
-
-    # -- public API ----------------------------------------------------------
     def rank(self, shape: JobShape) -> List[PlanEstimate]:
         """Every variant's estimate, cheapest first; infeasible ones last."""
-        from repro.chaos.harness import SHUFFLE_VARIANTS
-
-        estimates = [self._estimate(v, shape) for v in SHUFFLE_VARIANTS]
-        return sorted(
-            estimates,
-            key=lambda e: (not e.feasible, e.est_seconds, e.variant),
-        )
+        return rank_variants(self.profile, shape, self.merge_factor)
 
     def choose(self, shape: JobShape) -> str:
         """The cheapest feasible variant's name."""
-        ranked = self.rank(shape)
-        best = ranked[0]
-        if not best.feasible:
-            raise ValueError("no feasible shuffle variant for this job shape")
-        return best.variant
+        return cheapest_feasible(self.rank(shape)).variant
 
     def explain(self, shape: JobShape) -> Dict[str, Dict[str, float]]:
         """Per-variant cost breakdowns keyed by variant name."""

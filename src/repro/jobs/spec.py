@@ -155,6 +155,12 @@ class JobSpec:
     #: When set, the job runs on the streaming tier: ``num_maps``
     #: sources, ``num_reduces`` repartition width, ``variant`` ignored.
     stream: Optional[StreamSpec] = None
+    #: Optional pre-built plan hook: a :class:`repro.plan.ShuffleExpr`
+    #: to lower in place of the shape-derived one (callers that want
+    #: custom variant restrictions or expression rewrites), or an
+    #: already-lowered :class:`repro.plan.ShufflePlan` to execute as-is.
+    #: Duck-typed so the spec layer stays plan-free.
+    plan: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -202,6 +208,11 @@ class Job:
     error: Optional[BaseException] = None
     #: The variant the planner resolved ``"auto"`` to (or the explicit one).
     planned_variant: Optional[str] = None
+    #: The lowered :class:`repro.plan.ShufflePlan` behind
+    #: ``planned_variant`` when the resolution went through the plan
+    #: surface (None for explicit variants; streaming jobs carry their
+    #: pinned streaming plan).
+    plan: Optional[Any] = None
 
     @property
     def terminal(self) -> bool:

@@ -100,6 +100,18 @@ EVENT_KINDS: Dict[str, str] = {
         "an unbounded source reached its horizon and closed "
         "(attrs: records, watermark)"
     ),
+    # plan layer (repro.plan; emitted only with re-planning enabled)
+    "plan.lower": (
+        "an abstract shuffle expression was lowered to a concrete "
+        "variant (attrs: variant, decided_by, rule, est_seconds, shape, "
+        "ranking)"
+    ),
+    "plan.replan": (
+        "the remaining plan was re-lowered mid-job (cause: the original "
+        "plan.lower or previous replan; attrs: boundary, "
+        "variant_before/after, est_before/after, gain, or the adjusted "
+        "param for bound changes)"
+    ),
     # chaos
     "chaos.fault": "the injector fired a fault (attrs: fault)",
     # synthetic

@@ -14,6 +14,9 @@ renders the sections behind ``python -m repro.obs``:
 - spill amplification (spill bytes written per task output byte);
 - policy decisions (per-policy counts from ``policy.decision`` events,
   with placement affinity honoured-vs-fell-through accounting);
+- the planning story (``plan.lower`` / ``plan.replan`` events: what each
+  expression lowered to, and any mid-job switches or bound adjustments
+  with their estimated gains) when re-planning was enabled;
 - the fault/retry timeline, each retry annotated with its causal chain
   back to the fault that triggered it;
 - cluster churn accounting (joins / drains / removes and the lineage
@@ -275,6 +278,78 @@ class RunReport:
                 )
         return table
 
+    def plan_summary(self) -> Dict[str, Any]:
+        """Planning-surface accounting from ``plan.lower`` /
+        ``plan.replan`` events: per-variant lowered counts, mid-job
+        variant switches, and in-flight bound adjustments ({} for runs
+        without re-planning enabled, which emit no plan events)."""
+        lowered: Dict[str, int] = {}
+        switches = adjustments = 0
+        for event in self.events:
+            if event.kind == "plan.lower":
+                variant = str(event.attrs.get("variant", "?"))
+                lowered[variant] = lowered.get(variant, 0) + 1
+            elif event.kind == "plan.replan":
+                if event.attrs.get("param") is not None:
+                    adjustments += 1
+                else:
+                    switches += 1
+        if not lowered and not switches and not adjustments:
+            return {}
+        return {
+            "lowered": lowered,
+            "switches": switches,
+            "bound_adjustments": adjustments,
+        }
+
+    def plan_table(self) -> ResultTable:
+        """One row per planning event: lowers with the decided variant,
+        rule, and estimate; replans with the before->after change and
+        its estimated fractional gain."""
+        table = ResultTable(
+            "Plan",
+            ["t", "job", "action", "variant", "decided_by", "est_s", "gain"],
+        )
+        for event in self.events:
+            if event.kind == "plan.lower":
+                table.add_row(
+                    t=event.ts,
+                    job=event.job or "-",
+                    action="lower",
+                    variant=str(event.attrs.get("variant", "?")),
+                    decided_by=(
+                        f"{event.attrs.get('rule', '?')}/"
+                        f"{event.attrs.get('decided_by', '?')}"
+                    ),
+                    est_s=float(event.attrs.get("est_seconds", 0.0)),
+                    gain=0.0,
+                )
+            elif event.kind == "plan.replan":
+                if event.attrs.get("param") is not None:
+                    change = (
+                        f"{event.attrs['param']} "
+                        f"{event.attrs.get('inflight_before')}->"
+                        f"{event.attrs.get('inflight_after')}"
+                    )
+                    est_s = gain = 0.0
+                else:
+                    change = (
+                        f"{event.attrs.get('variant_before')}->"
+                        f"{event.attrs.get('variant_after')}"
+                    )
+                    est_s = float(event.attrs.get("est_after", 0.0))
+                    gain = float(event.attrs.get("gain", 0.0))
+                table.add_row(
+                    t=event.ts,
+                    job=event.job or "-",
+                    action="replan",
+                    variant=change,
+                    decided_by=str(event.attrs.get("boundary", "?")),
+                    est_s=est_s,
+                    gain=gain,
+                )
+        return table
+
     def fault_timeline(self) -> List[str]:
         """Chronological fault / churn / death / retry lines with causal
         chains (membership changes are part of the same story: a drain
@@ -463,6 +538,8 @@ class RunReport:
             "policy_decisions": self.policy_decisions(),
             "affinity_summary": self.affinity_summary(),
             "policy_table": self.policy_table().to_dict(),
+            "plan_summary": self.plan_summary(),
+            "plan_table": self.plan_table().to_dict(),
             "fault_timeline": self.fault_timeline(),
             "membership_summary": self.membership_summary(),
             "streaming_summary": self.streaming_summary(),
@@ -503,6 +580,16 @@ class RunReport:
                     f"{affinity['fell_through']} fell through, "
                     f"{affinity['no_hint']} unhinted"
                 )
+        plan_table = self.plan_table()
+        if len(plan_table):
+            parts.append("")
+            parts.append(plan_table.render())
+            plan = self.plan_summary()
+            parts.append(
+                f"planning: {sum(plan['lowered'].values())} plans lowered, "
+                f"{plan['switches']} mid-job switches, "
+                f"{plan['bound_adjustments']} bound adjustments"
+            )
         streaming = self.streaming_summary()
         if streaming:
             parts.append("")

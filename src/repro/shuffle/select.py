@@ -1,17 +1,19 @@
-"""Runtime shuffle selection (§5.1.3, §7).
+"""Runtime shuffle selection (§5.1.3, §7) -- now a thin wrapper.
 
 The paper's closing observation: the best shuffle depends on data size,
-layout, and hardware, and a library architecture lets the application pick
-*at run time* without deploying another system.  This helper encodes the
-evaluation's empirical rule:
+layout, and hardware, and a library architecture lets the application
+pick *at run time* without deploying another system.  The empirical
+two-way rule this module historically encoded --
 
 - data fits comfortably in aggregate object-store memory and partitions
   are few  -> simple shuffle (merging would only add overhead, Fig 4c);
-- otherwise -> push-based shuffle (I/O efficiency and pipelining win).
+- otherwise -> push-based shuffle (I/O efficiency and pipelining win)
 
-This two-way rule is intentionally minimal; the multi-tenant control
-plane's :class:`repro.jobs.ShufflePlanner` generalises it to rank all
-shuffle variants from an explicit cost model.
+-- now lives in the plan layer as the ``rule="empirical"`` lowering
+rule (:func:`repro.plan.empirical_variant`), alongside the cost model
+that generalises it.  This module keeps the historical entry points
+(callable-returning selection against a live runtime) and re-exports
+the shared constants, so existing callers and tests are untouched.
 """
 
 from __future__ import annotations
@@ -19,16 +21,17 @@ from __future__ import annotations
 from typing import Any, Callable, Dict
 
 from repro.futures import Runtime
+from repro.plan import MEMORY_HEADROOM, PARTITION_CROSSOVER, empirical_variant
 from repro.shuffle.push import push_based_shuffle
 from repro.shuffle.simple import simple_shuffle
 
-#: Above this many partitions, push-based pipelining wins even in memory
-#: (the Fig 4c crossover is between 80 and 200 partitions).
-PARTITION_CROSSOVER = 150
-
-#: Fraction of aggregate store memory the working set may occupy and
-#: still count as "fits in memory" (input + shuffled copy + slack).
-MEMORY_HEADROOM = 0.4
+__all__ = [
+    "MEMORY_HEADROOM",
+    "PARTITION_CROSSOVER",
+    "aggregate_store_bytes",
+    "choose_shuffle",
+    "describe_choice",
+]
 
 
 def aggregate_store_bytes(rt: Runtime) -> int:
@@ -47,10 +50,8 @@ def _decide(
     total_data_bytes: int, num_partitions: int, store_bytes: int
 ) -> Callable[..., Any]:
     """The crossover rule against an already-sampled capacity figure."""
-    in_memory = total_data_bytes <= MEMORY_HEADROOM * store_bytes
-    if in_memory and num_partitions < PARTITION_CROSSOVER:
-        return simple_shuffle
-    return push_based_shuffle
+    variant = empirical_variant(store_bytes, total_data_bytes, num_partitions)
+    return simple_shuffle if variant == "simple" else push_based_shuffle
 
 
 def choose_shuffle(

@@ -212,6 +212,16 @@ def run_streaming_job(
         controller.track(w, agg_ref)
         total_records += records
         windows_run += 1
+        if stream.backpressure:
+            # Round-boundary re-planning hook: under memory pressure the
+            # attached AdaptivePlanner (rt.config.replan="on") may shrink
+            # the in-flight window bound; a no-op otherwise.
+            shrunk = rt.stage_boundary(
+                "round", inflight=rounds.max_inflight_rounds, job=job_id
+            )
+            if shrunk is not None:
+                rounds.max_inflight_rounds = shrunk
+                controller.max_inflight_windows = shrunk
 
     # Close the sources at the horizon, then drain in-flight windows.
     if rt.now < stream.duration_s:

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.chaos",
     "repro.jobs",
     "repro.blocks",
+    "repro.plan",
     "repro.shuffle",
     "repro.sort",
     "repro.baselines.spark",
@@ -85,8 +86,8 @@ def test_public_items_documented(module):
 #: must cover and the other guides it must cross-link.
 REQUIRED_DOCS = {
     "data_plane.md": (
-        ["spill_backend", "AutoscalePolicy"],
-        ["elasticity.md"],
+        ["spill_backend", "AutoscalePolicy", "stage_boundary"],
+        ["elasticity.md", "planner.md"],
     ),
     "chaos.md": (
         ["node_join", "node_drain", "node_remove"],
@@ -97,12 +98,32 @@ REQUIRED_DOCS = {
         ["chaos.md", "data_plane.md", "observability.md"],
     ),
     "streaming.md": (
-        ["StreamSpec", "backpressure", "open-loop", "p999", "watermark"],
-        ["jobs.md", "observability.md"],
+        [
+            "StreamSpec", "backpressure", "open-loop", "p999",
+            "watermark", "stage_boundary",
+        ],
+        ["jobs.md", "observability.md", "planner.md"],
     ),
     "jobs.md": (
-        ["StreamSpec"],
-        ["streaming.md"],
+        ["StreamSpec", "lowering rule"],
+        ["streaming.md", "planner.md"],
+    ),
+    "planner.md": (
+        [
+            "ShuffleExpr",
+            "ShufflePlan",
+            "lower",
+            "simplify",
+            "fits_in_memory",
+            "plan.replan",
+            "policy.decision",
+            "min_gain",
+            'replan="on"',
+            'variant="auto"',
+            "bit-for-bit",
+            "check_plan_isolation",
+        ],
+        ["data_plane.md", "jobs.md", "streaming.md", "observability.md"],
     ),
     "observability.md": (
         ["p999", "SelfProfiler"],
@@ -173,3 +194,10 @@ def test_readme_links_profiling_guide():
 
     readme = Path(__file__).resolve().parent.parent / "README.md"
     assert "docs/profiling.md" in readme.read_text()
+
+
+def test_readme_links_planner_guide():
+    from pathlib import Path
+
+    readme = Path(__file__).resolve().parent.parent / "README.md"
+    assert "docs/planner.md" in readme.read_text()

@@ -167,6 +167,51 @@ def test_self_profiler_is_not_imported_by_the_observed_planes():
     assert violations == []
 
 
+def test_plan_layer_isolation_holds_in_the_real_tree():
+    """``repro.plan`` imports no mechanism layer, and no mechanism
+    layer (futures / simcore / cluster / shuffle, minus the legacy
+    ``shuffle.select`` wrapper) imports ``repro.plan``."""
+    lint = _lint()
+    violations = lint.check_plan_isolation(REPO / "src" / "repro")
+    assert violations == []
+
+
+def test_plan_isolation_catches_both_directions(tmp_path):
+    """A synthetic plan module importing the runtime is flagged, as is
+    a shuffle variant importing the planner; ``shuffle.select`` and the
+    call-site layers (jobs, dataframe) stay exempt."""
+    lint = _lint()
+    src_root = tmp_path / "src" / "repro"
+    for pkg in ("plan", "shuffle", "jobs"):
+        (src_root / pkg).mkdir(parents=True)
+        (src_root / pkg / "__init__.py").write_text("")
+    (src_root / "__init__.py").write_text("")
+    (src_root / "plan" / "rogue.py").write_text(
+        textwrap.dedent(
+            """
+            import math
+            from repro.common.units import MB
+            from repro.plan.profile import ClusterProfile
+            from repro.futures.runtime import Runtime
+            import repro.shuffle.push
+            """
+        )
+    )
+    (src_root / "shuffle" / "push.py").write_text(
+        "from repro.plan import ShuffleExpr\n"
+    )
+    (src_root / "shuffle" / "select.py").write_text(
+        "from repro.plan import empirical_variant\n"
+    )
+    (src_root / "jobs" / "manager.py").write_text(
+        "from repro.plan import planner_for_runtime\n"
+    )
+    violations = lint.check_plan_isolation(src_root)
+    assert len(violations) == 3
+    assert sum("rogue.py" in v for v in violations) == 2
+    assert sum("push.py" in v for v in violations) == 1
+
+
 def test_profile_isolation_catches_observed_plane_imports(tmp_path):
     """A synthetic simcore module importing the profiler is flagged;
     the obs package (and the bench harness outside src/) stays exempt."""

@@ -86,6 +86,35 @@ PROFILE_FORBIDDEN_PACKAGES = (
     "repro.cluster",
 )
 
+#: Import prefixes the planning layer (``repro.plan``) may use besides
+#: the stdlib: value-type helpers and itself.  The planner is a *pure*
+#: lowering library -- it sees the cluster only through duck-typed
+#: profile snapshots (``ClusterProfile.from_runtime``) and the event
+#: stream, never through runtime internals, so plans stay computable
+#: offline from a recorded profile.
+PLAN_ALLOWED_PREFIXES = (
+    "repro.common",
+    "repro.plan",
+)
+
+#: Packages that must never import ``repro.plan``: the mechanism layers
+#: the planner chooses *between*.  A shuffle variant importing the
+#: planner (or the futures runtime importing it for its duck-typed
+#: ``Runtime.planner`` slot) would create a cycle where the mechanism
+#: depends on the policy that selects it.  ``repro.shuffle.select`` is
+#: the one exemption: it *is* the legacy selection surface, kept as a
+#: thin re-export wrapper over the plan layer.
+PLAN_FORBIDDEN_IMPORTERS = (
+    "repro.futures",
+    "repro.simcore",
+    "repro.cluster",
+    "repro.shuffle",
+)
+
+#: The single module under a forbidden package allowed to import
+#: ``repro.plan`` (the legacy wrapper).
+PLAN_IMPORT_EXEMPT = ("repro.shuffle.select",)
+
 
 def _allowed(module: str) -> bool:
     """Is an absolute import target acceptable inside the policy plane?"""
@@ -306,6 +335,60 @@ def check_profile_isolation(src_root: Path) -> List[str]:
     return violations
 
 
+def check_plan_isolation(src_root: Path) -> List[str]:
+    """Both directions of the planning layer's boundary.
+
+    Forward: modules under ``repro.plan`` may import only the stdlib,
+    :data:`PLAN_ALLOWED_PREFIXES`, and themselves -- in particular never
+    the futures runtime, the simulator core, or the shuffle variants
+    (the planner ranks variants by *name*; executing them is the call
+    sites' job).  Reverse: the mechanism layers in
+    :data:`PLAN_FORBIDDEN_IMPORTERS` must never import ``repro.plan``,
+    except the legacy wrapper modules in :data:`PLAN_IMPORT_EXEMPT`.
+    """
+    violations: List[str] = []
+    for path in sorted(src_root.rglob("*.py")):
+        module = _module_name(path, src_root)
+        in_plan = module == "repro.plan" or module.startswith("repro.plan.")
+        forbidden = module not in PLAN_IMPORT_EXEMPT and any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in PLAN_FORBIDDEN_IMPORTERS
+        )
+        if not in_plan and not forbidden:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                targets = [node.module or ""]
+            for target in targets:
+                if in_plan:
+                    if target.startswith("repro") and not any(
+                        target == prefix or target.startswith(prefix + ".")
+                        for prefix in PLAN_ALLOWED_PREFIXES
+                    ):
+                        violations.append(
+                            f"{path}:{node.lineno}: imports {target!r} "
+                            f"(repro.plan is a pure lowering library and "
+                            f"may only import "
+                            f"{', '.join(PLAN_ALLOWED_PREFIXES)})"
+                        )
+                elif target == "repro.plan" or target.startswith(
+                    "repro.plan."
+                ):
+                    violations.append(
+                        f"{path}:{node.lineno}: imports {target!r} "
+                        f"(mechanism layers -- "
+                        f"{', '.join(PLAN_FORBIDDEN_IMPORTERS)} -- must "
+                        f"not depend on the planning layer; only "
+                        f"{', '.join(PLAN_IMPORT_EXEMPT)} may, as the "
+                        f"legacy wrapper)"
+                    )
+    return violations
+
+
 def main(argv: List[str] = None) -> int:
     """Entry point: check the tree, print violations, exit nonzero."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -325,6 +408,7 @@ def main(argv: List[str] = None) -> int:
         violations += check_streaming_isolation(SRC_ROOT)
         violations += check_live_isolation(SRC_ROOT)
         violations += check_profile_isolation(SRC_ROOT)
+        violations += check_plan_isolation(SRC_ROOT)
     for violation in violations:
         print(violation)
     if violations:
